@@ -1,0 +1,86 @@
+"""Experiment E4: AKPW low-stretch spanning trees (Theorem 5.1).
+
+Measures the average stretch of the AKPW tree across workloads and sizes and
+compares it against the MST and a BFS tree — the paper's guarantee is a
+sub-polynomial (2^O(sqrt(log n log log n))) average stretch; at these sizes
+the measured values should be comfortably polylogarithmic and should grow
+slowly with n.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.core.akpw import akpw_spanning_tree
+from repro.core.stretch import average_stretch
+from repro.graph import generators
+from repro.graph.mst import minimum_spanning_tree_edges
+from repro.graph.shortest_paths import bfs_tree
+from repro.util.records import ExperimentRow
+
+
+class TestE4LowStretchTrees:
+    def test_stretch_vs_baselines(self, benchmark, bench_grid, bench_weighted_grid, bench_random_graph):
+        workloads = [
+            ("grid48", bench_grid),
+            ("wgrid40", bench_weighted_grid),
+            ("er2000", bench_random_graph),
+        ]
+
+        def run():
+            rows = []
+            for name, g in workloads:
+                akpw = akpw_spanning_tree(g, seed=0)
+                mst = minimum_spanning_tree_edges(g)
+                bfs = bfs_tree(g, 0)
+                rows.append(
+                    ExperimentRow(
+                        "E4",
+                        name,
+                        params={"n": g.n, "m": g.num_edges},
+                        measured={
+                            "akpw_avg_stretch": average_stretch(g, akpw.tree_edges),
+                            "mst_avg_stretch": average_stretch(g, mst),
+                            "bfs_avg_stretch": average_stretch(g, bfs),
+                            "polylog_ref": math.log2(g.n) ** 2,
+                        },
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table("E4: average stretch of AKPW trees vs baselines (Theorem 5.1)", rows)
+        for r in rows:
+            assert r.measured["akpw_avg_stretch"] <= 8.0 * r.measured["polylog_ref"]
+
+    def test_stretch_growth_with_n(self, benchmark):
+        sizes = [16, 32, 64]
+
+        def run():
+            rows = []
+            for size in sizes:
+                g = generators.grid_2d(size, size)
+                akpw = akpw_spanning_tree(g, seed=1)
+                rows.append(
+                    ExperimentRow(
+                        "E4",
+                        f"grid{size}",
+                        params={"n": g.n},
+                        measured={
+                            "avg_stretch": average_stretch(g, akpw.tree_edges),
+                            "subpoly_bound": 2 ** math.sqrt(math.log2(g.n) * math.log2(math.log2(g.n))),
+                        },
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table("E4: AKPW stretch growth with n", rows)
+        stretches = [r.measured["avg_stretch"] for r in rows]
+        ns = [r.params["n"] for r in rows]
+        # growth clearly sub-linear in n: going 16x in edges grows stretch < 4x
+        assert stretches[-1] <= stretches[0] * 4.0 + 10.0
+        assert ns[-1] / ns[0] == 16

@@ -1,0 +1,82 @@
+"""Experiments E9-E10: applications of the solver.
+
+* E9 — spectral sparsification quality (Spielman–Srivastava via the solver).
+* E10 — (1 - eps)-approximate max flow via electrical flows vs exact flow.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.apps.maxflow import approx_max_flow, exact_max_flow
+from repro.apps.sparsification import quadratic_form_distortion, spectral_sparsify
+from repro.graph import generators
+from repro.util.records import ExperimentRow
+
+
+class TestE9SpectralSparsification:
+    def test_sparsifier_quality(self, benchmark):
+        g = generators.erdos_renyi_gnm(200, 4000, seed=5)
+
+        def run():
+            rows = []
+            for eps in (0.75, 0.5):
+                res = spectral_sparsify(g, epsilon=eps, seed=0, solver_tol=1e-6)
+                distortion = quadratic_form_distortion(g, res.graph, num_probes=20, seed=1)
+                rows.append(
+                    ExperimentRow(
+                        "E9",
+                        "er200_dense",
+                        params={"eps": eps},
+                        measured={
+                            "input_edges": g.num_edges,
+                            "sparsifier_edges": res.graph.num_edges,
+                            "quadratic_distortion": distortion,
+                        },
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table("E9: spectral sparsifier size and distortion (SS08 via the solver)", rows)
+        for r in rows:
+            # distortion within a small multiple of the target eps
+            assert r.measured["quadratic_distortion"] <= 2.5 * r.params["eps"]
+
+
+class TestE10ApproximateMaxFlow:
+    def test_flow_value_vs_exact(self, benchmark):
+        workloads = [
+            ("grid10", generators.grid_2d(10, 10)),
+            ("geo100", generators.with_random_weights(
+                generators.random_geometric_graph(100, 0.2, seed=3), seed=4, spread=5.0,
+                distribution="uniform")),
+        ]
+
+        def run():
+            rows = []
+            for name, g in workloads:
+                s, t = 0, g.n - 1
+                exact = exact_max_flow(g, s, t)
+                approx = approx_max_flow(g, s, t, epsilon=0.3, seed=0)
+                rows.append(
+                    ExperimentRow(
+                        "E10",
+                        name,
+                        params={"m": g.num_edges, "eps": 0.3},
+                        measured={
+                            "exact_value": exact.value,
+                            "approx_value": approx.value,
+                            "value_ratio": approx.value / exact.value if exact.value else 1.0,
+                            "congestion": approx.congestion,
+                            "laplacian_solves": approx.iterations,
+                        },
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table("E10: electrical-flow approximate max flow vs exact (CKM+10)", rows)
+        for r in rows:
+            assert r.measured["value_ratio"] >= 0.5
+            assert r.measured["value_ratio"] <= 1.05 * (1 + 0.3)
+            assert r.measured["congestion"] <= 1.0 + 0.3 + 1e-6

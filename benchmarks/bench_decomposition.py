@@ -1,0 +1,172 @@
+"""Experiments E1-E3: parallel low-diameter decomposition (Theorem 4.1).
+
+* E1 — strong radius is at most rho and every center lies in its component.
+* E2 — the fraction of cut edges decays like ~1/rho (per edge class).
+* E3 — work is near-linear in m and depth scales with rho (not with n).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.decomposition import (
+    cut_edge_mask,
+    cut_fraction_per_class,
+    decomposition_radii,
+    partition,
+    split_graph,
+)
+from repro.graph import generators
+from repro.pram.model import CostModel
+from repro.util.records import ExperimentRow
+
+RHOS = [4, 8, 16, 32]
+
+
+def _decompose(graph, rho, seed=0):
+    return split_graph(
+        graph, rho=rho, seed=seed, jitter_range=max(1, rho // 2), sample_coefficient=1.0
+    )
+
+
+class TestE1Radius:
+    """E1: strong-diameter guarantee (Theorem 4.1 (1)-(2))."""
+
+    @pytest.mark.parametrize("rho", RHOS)
+    def test_radius_bound(self, benchmark, bench_grid, rho):
+        decomp = benchmark(lambda: _decompose(bench_grid, rho))
+        radii = decomposition_radii(bench_grid, decomp)
+        rows = [
+            ExperimentRow(
+                "E1",
+                f"grid48 rho={rho}",
+                params={"rho": rho},
+                measured={
+                    "components": decomp.num_components,
+                    "max_strong_radius": int(radii.max()),
+                    "bound": rho,
+                },
+            )
+        ]
+        print_table("E1: strong radius <= rho (Theorem 4.1(2))", rows)
+        assert radii.max() <= rho
+        for idx, center in enumerate(decomp.centers):
+            assert decomp.labels[center] == idx
+
+
+class TestE2CutFraction:
+    """E2: cut-edge fraction decays with rho (Theorem 4.1 (3))."""
+
+    def test_cut_fraction_sweep(self, benchmark, bench_grid, bench_regular_graph):
+        def sweep():
+            rows = []
+            for name, graph in [("grid48", bench_grid), ("regular1500", bench_regular_graph)]:
+                for rho in RHOS:
+                    decomp = _decompose(graph, rho, seed=1)
+                    frac = float(cut_edge_mask(graph, decomp.labels).mean())
+                    bound = 272.0 * math.log2(graph.n) ** 3 / rho
+                    rows.append(
+                        ExperimentRow(
+                            "E2",
+                            f"{name}",
+                            params={"rho": rho},
+                            measured={"cut_fraction": frac, "paper_bound": min(bound, 1.0)},
+                        )
+                    )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print_table("E2: cut fraction vs rho (Theorem 4.1(3))", rows)
+        grid_rows = [r for r in rows if r.workload == "grid48"]
+        assert grid_rows[-1].measured["cut_fraction"] < grid_rows[0].measured["cut_fraction"]
+        assert all(r.measured["cut_fraction"] <= r.measured["paper_bound"] + 1e-9 for r in rows)
+
+    def test_multi_class_bound(self, benchmark, bench_weighted_grid):
+        g = bench_weighted_grid
+        classes = g.weight_buckets(8.0)
+        rho = 16
+
+        def run():
+            return partition(
+                g, rho=rho, edge_classes=classes, seed=2, c1=1.0,
+                jitter_range=rho // 2, sample_coefficient=1.0,
+            )
+
+        decomp = benchmark.pedantic(run, rounds=1, iterations=1)
+        fractions = cut_fraction_per_class(g, decomp.labels, classes)
+        rows = [
+            ExperimentRow(
+                "E2",
+                f"wgrid40 class {cls}",
+                params={"rho": rho},
+                measured={"cut_fraction": frac, "bound": decomp.stats["cut_bound"]},
+            )
+            for cls, frac in sorted(fractions.items())
+        ]
+        print_table("E2: per-class cut fractions (Algorithm 4.2 validation)", rows)
+        assert max(fractions.values()) <= decomp.stats["cut_bound"]
+
+
+class TestE3WorkDepth:
+    """E3: near-linear work, depth governed by rho (Theorem 4.1 cost bounds)."""
+
+    def test_work_depth_scaling(self, benchmark):
+        sizes = [16, 32, 64]
+
+        def sweep():
+            rows = []
+            for size in sizes:
+                g = generators.grid_2d(size, size)
+                cost = CostModel()
+                split_graph(g, rho=8, seed=0, cost=cost, jitter_range=4, sample_coefficient=1.0)
+                rows.append(
+                    ExperimentRow(
+                        "E3",
+                        f"grid{size}",
+                        params={"m": g.num_edges},
+                        measured={
+                            "work": cost.work,
+                            "work_per_edge": cost.work / g.num_edges,
+                            "depth": cost.depth,
+                        },
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print_table("E3: decomposition work/depth scaling", rows)
+        # near-linear work: work/edge stays within a small factor across sizes
+        ratios = [r.measured["work_per_edge"] for r in rows]
+        assert max(ratios) <= 12 * min(ratios)
+        # depth grows much slower than work
+        assert rows[-1].measured["depth"] < rows[-1].measured["work"] / 10
+
+    def test_depth_within_rho_polylog_bound(self, benchmark, bench_grid):
+        logn = math.ceil(math.log2(bench_grid.n))
+
+        def sweep():
+            rows = []
+            for rho in (4, 32):
+                cost = CostModel()
+                split_graph(bench_grid, rho=rho, seed=0, cost=cost,
+                            jitter_range=max(1, rho // 2), sample_coefficient=1.0)
+                rows.append(
+                    ExperimentRow(
+                        "E3", f"grid48 rho={rho}", params={"rho": rho},
+                        measured={
+                            "depth": cost.depth,
+                            "rounds": cost.rounds,
+                            "bound_10_rho_log2": 10.0 * rho * logn**2,
+                        },
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print_table("E3: depth vs rho (bound O(rho log^2 n))", rows)
+        for r in rows:
+            assert r.measured["depth"] <= r.measured["bound_10_rho_log2"]

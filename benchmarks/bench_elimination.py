@@ -1,0 +1,84 @@
+"""Experiment E6: parallel greedy elimination (Lemma 6.5).
+
+Measures (a) the vertex-count bound — the reduced graph has O(extra edges)
+vertices — and (b) the number of rake/compress rounds, which the lemma bounds
+by O(log n).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.core.elimination import greedy_elimination
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.util.records import ExperimentRow
+
+
+def _tree_plus_extras(n: int, extra: int, seed: int) -> Graph:
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    u = [int(perm[rng.integers(0, i)]) for i in range(1, n)]
+    v = [int(perm[i]) for i in range(1, n)]
+    eu, ev = [], []
+    while len(eu) < extra:
+        a, b = rng.integers(0, n, 2)
+        if a != b:
+            eu.append(int(a))
+            ev.append(int(b))
+    return Graph(n, u + eu, v + ev)
+
+
+class TestE6GreedyElimination:
+    def test_vertex_bound(self, benchmark):
+        def run():
+            rows = []
+            for n, extra in [(1000, 20), (1000, 80), (4000, 100)]:
+                g = _tree_plus_extras(n, extra, seed=extra)
+                elim = greedy_elimination(g, seed=0)
+                rows.append(
+                    ExperimentRow(
+                        "E6",
+                        f"tree n={n} +{extra} edges",
+                        params={"n": n, "extra_edges": extra},
+                        measured={
+                            "kept_vertices": elim.reduced_graph.n,
+                            "paper_bound_2m": 2 * extra,
+                            "rounds": elim.rounds,
+                            "log_n": math.ceil(math.log2(n)),
+                        },
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table("E6: GreedyElimination vertex bound (Lemma 6.5)", rows)
+        for r in rows:
+            assert r.measured["kept_vertices"] <= max(r.measured["paper_bound_2m"], 4)
+            assert r.measured["rounds"] <= 8 * r.measured["log_n"]
+
+    def test_rounds_scaling(self, benchmark):
+        """Rounds grow like log n on long paths (worst case for rake/compress)."""
+
+        def run():
+            rows = []
+            for n in (256, 1024, 4096):
+                g = generators.path_graph(n)
+                elim = greedy_elimination(g, seed=1)
+                rows.append(
+                    ExperimentRow(
+                        "E6",
+                        f"path{n}",
+                        params={"n": n},
+                        measured={"rounds": elim.rounds, "log_n": math.ceil(math.log2(n))},
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table("E6: elimination rounds vs n", rows)
+        for r in rows:
+            assert r.measured["rounds"] <= 10 * r.measured["log_n"]

@@ -1,0 +1,91 @@
+"""Experiment E7: incremental sparsification (Lemma 6.1 / 6.2).
+
+Measures the spectral sandwich ``G ⪯ O(1)·H`` and ``H' ⪯ O(kappa)·G``
+(equivalently: the generalized condition number of (G, H) stays O(kappa))
+and the preconditioner size as kappa grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from benchmarks.conftest import print_table
+from repro.core.sparse_akpw import low_stretch_subgraph
+from repro.core.sparsify import incremental_sparsify
+from repro.graph import generators
+from repro.graph.laplacian import graph_to_laplacian
+from repro.util.records import ExperimentRow
+
+
+def _generalized_condition(graph, h_graph) -> float:
+    n = graph.n
+    lg = graph_to_laplacian(graph).toarray()
+    lh = graph_to_laplacian(h_graph).toarray()
+    shift = np.ones((n, n)) / n
+    evals = np.sort(np.real(sla.eigvalsh(lg + shift, lh + shift)))
+    return float(evals[-1] / evals[0])
+
+
+class TestE7IncrementalSparsify:
+    def test_kappa_sweep(self, benchmark):
+        g = generators.grid_2d(22, 22)
+        sub = low_stretch_subgraph(g.reweighted(1.0 / g.w), lam=2, beta=6.0, seed=0)
+
+        def run():
+            rows = []
+            for kappa in (6.0, 12.0, 24.0, 48.0):
+                res = incremental_sparsify(g, sub.edge_indices, kappa, seed=1, use_log_factor=False)
+                cond = _generalized_condition(g, res.graph)
+                rows.append(
+                    ExperimentRow(
+                        "E7",
+                        "grid22",
+                        params={"kappa": kappa},
+                        measured={
+                            "precond_edges": res.num_edges,
+                            "graph_edges": g.num_edges,
+                            "generalized_condition": cond,
+                            "bound_6kappa": 6.0 * kappa,
+                        },
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table("E7: sparsifier size and condition number vs kappa (Lemma 6.1)", rows)
+        for r in rows:
+            assert r.measured["generalized_condition"] <= r.measured["bound_6kappa"]
+        # larger kappa keeps fewer edges
+        edges = [r.measured["precond_edges"] for r in rows]
+        assert edges[-1] <= edges[0]
+
+    def test_reweighted_variant_comparison(self, benchmark):
+        """Ablation: plain-subgraph vs unbiased reweighted sampling."""
+        g = generators.grid_2d(20, 20)
+        sub = low_stretch_subgraph(g.reweighted(1.0 / g.w), lam=2, beta=6.0, seed=2)
+        kappa = 16.0
+
+        def run():
+            rows = []
+            for reweight in (False, True):
+                res = incremental_sparsify(
+                    g, sub.edge_indices, kappa, seed=3, use_log_factor=False, reweight=reweight
+                )
+                rows.append(
+                    ExperimentRow(
+                        "E7",
+                        "grid20 " + ("reweighted" if reweight else "plain-subgraph"),
+                        params={"kappa": kappa},
+                        measured={
+                            "precond_edges": res.num_edges,
+                            "generalized_condition": _generalized_condition(g, res.graph),
+                        },
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table("E7: plain-subgraph vs reweighted sampling", rows)
+        plain, reweighted = rows
+        assert plain.measured["generalized_condition"] <= reweighted.measured["generalized_condition"] * 1.5

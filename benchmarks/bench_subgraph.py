@@ -1,0 +1,93 @@
+"""Experiment E5: low-stretch ultra-sparse subgraphs (Theorem 5.9).
+
+Sweeps beta and lambda and reports the edge-count / average-stretch
+trade-off that Lemma 5.5 / Theorem 5.9 bound:
+``|E| <= n - 1 + m (c log^3 n / beta)^lambda`` and polylog average stretch.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import print_table
+from repro.core.sparse_akpw import low_stretch_subgraph
+from repro.core.stretch import average_stretch
+from repro.pram.model import CostModel
+from repro.util.records import ExperimentRow
+
+
+class TestE5LowStretchSubgraphs:
+    def test_beta_sweep(self, benchmark, bench_weighted_grid):
+        g = bench_weighted_grid
+
+        def run():
+            rows = []
+            for beta in (3.0, 6.0, 12.0):
+                cost = CostModel()
+                sub = low_stretch_subgraph(g, lam=2, beta=beta, seed=0, cost=cost)
+                rows.append(
+                    ExperimentRow(
+                        "E5",
+                        "wgrid40",
+                        params={"beta": beta, "lam": 2},
+                        measured={
+                            "edges": sub.num_edges,
+                            "extra_edges": sub.num_edges - (g.n - 1),
+                            "avg_stretch": average_stretch(g, sub.edge_indices),
+                            "depth": cost.depth,
+                        },
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table("E5: subgraph edges / stretch vs beta (Theorem 5.9)", rows)
+        # more aggressive beta -> no more edges than gentler beta (tree limit)
+        assert rows[-1].measured["edges"] <= rows[0].measured["edges"] + g.n // 20
+        # polylog average stretch at every setting
+        for r in rows:
+            assert r.measured["avg_stretch"] <= 8.0 * math.log2(g.n) ** 2
+
+    def test_lambda_sweep(self, benchmark, bench_weighted_grid):
+        g = bench_weighted_grid
+
+        def run():
+            rows = []
+            for lam in (1, 2, 3):
+                sub = low_stretch_subgraph(g, lam=lam, beta=4.0, seed=1)
+                rows.append(
+                    ExperimentRow(
+                        "E5",
+                        "wgrid40",
+                        params={"lam": lam, "beta": 4.0},
+                        measured={
+                            "edges": sub.num_edges,
+                            "tree_edges": len(sub.tree_edges),
+                            "extra_edges": len(sub.extra_edges),
+                            "avg_stretch": average_stretch(g, sub.edge_indices),
+                        },
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table("E5: subgraph composition vs lambda", rows)
+        for r in rows:
+            assert r.measured["tree_edges"] == g.n - 1
+
+    def test_subgraph_vs_tree_stretch(self, benchmark, bench_grid):
+        """The ultra-sparse subgraph should not be worse than the pure tree."""
+        g = bench_grid
+
+        def run():
+            sub = low_stretch_subgraph(g, lam=2, beta=3.0, seed=2)
+            return {
+                "subgraph_stretch": average_stretch(g, sub.edge_indices),
+                "tree_stretch": average_stretch(g, sub.tree_edges),
+                "edges": sub.num_edges,
+            }
+
+        out = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = [ExperimentRow("E5", "grid48", measured=out)]
+        print_table("E5: subgraph vs its own tree part", rows)
+        assert out["subgraph_stretch"] <= out["tree_stretch"] + 1e-9

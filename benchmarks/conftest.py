@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark prints the table it regenerates (experiment rows comparing
+the paper's guarantee with the measured quantity) in addition to the
+pytest-benchmark wall-clock statistics.  Sizes are chosen so the whole suite
+runs in a few minutes on a laptop; pass ``--benchmark-only`` to skip the unit
+tests and run just these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+
+
+@pytest.fixture(scope="session")
+def bench_grid():
+    """Primary benchmark workload: a 48x48 grid (n=2304, m=4512)."""
+    return generators.grid_2d(48, 48)
+
+
+@pytest.fixture(scope="session")
+def bench_weighted_grid():
+    return generators.weighted_grid_2d(40, 40, seed=7, spread=1e4)
+
+
+@pytest.fixture(scope="session")
+def bench_random_graph():
+    return generators.erdos_renyi_gnm(2000, 8000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def bench_regular_graph():
+    return generators.random_regular_graph(1500, 6, seed=13)
+
+
+def print_table(title: str, rows) -> None:
+    """Print an experiment table through the records formatter."""
+    from repro.util.records import format_table
+
+    print(f"\n=== {title} ===")
+    print(format_table(rows))

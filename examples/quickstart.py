@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: build a graph, decompose it, extract a low-stretch subgraph,
+and solve a Laplacian system with the parallel SDD solver.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CostModel, SDDSolver
+from repro.core.decomposition import cut_edge_mask, decomposition_radii, split_graph
+from repro.core.sparse_akpw import low_stretch_subgraph
+from repro.core.stretch import average_stretch
+from repro.graph import generators
+from repro.graph.laplacian import graph_to_laplacian
+from repro.linalg.norms import residual_norm
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. A workload graph: a 2-D grid (discretized Poisson problem).
+    # ------------------------------------------------------------------ #
+    g = generators.grid_2d(40, 40)
+    print(f"graph: n={g.n} vertices, m={g.num_edges} edges")
+
+    # ------------------------------------------------------------------ #
+    # 2. Parallel low-diameter decomposition (Theorem 4.1).
+    # ------------------------------------------------------------------ #
+    cost = CostModel()
+    decomp = split_graph(g, rho=8, seed=0, cost=cost, jitter_range=4, sample_coefficient=1.0)
+    radii = decomposition_radii(g, decomp)
+    cut_fraction = cut_edge_mask(g, decomp.labels).mean()
+    print(
+        f"decomposition: {decomp.num_components} components, "
+        f"max strong radius {radii.max()} (bound rho=8), "
+        f"cut fraction {cut_fraction:.3f}, "
+        f"work {cost.work:.3g}, depth {cost.depth:.3g}"
+    )
+
+    # ------------------------------------------------------------------ #
+    # 3. Low-stretch subgraph (Theorem 5.9).
+    # ------------------------------------------------------------------ #
+    sub = low_stretch_subgraph(g, lam=2, beta=6.0, seed=0)
+    print(
+        f"low-stretch subgraph: {sub.num_edges} edges "
+        f"(tree {len(sub.tree_edges)} + extra {len(sub.extra_edges)}), "
+        f"average stretch {average_stretch(g, sub.edge_indices):.2f}"
+    )
+
+    # ------------------------------------------------------------------ #
+    # 4. Solve a Laplacian system (Theorem 1.1).
+    # ------------------------------------------------------------------ #
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(g.n)
+    b -= b.mean()  # right-hand side must be in the range of the Laplacian
+    solver = SDDSolver(g, seed=0)
+    report = solver.solve(b, tol=1e-8)
+    lap = graph_to_laplacian(g)
+    print(
+        f"solver: chain of {solver.chain.depth} levels "
+        f"{[lvl.num_vertices for lvl in solver.chain.levels]}, "
+        f"{report.iterations} outer iterations, "
+        f"relative residual {residual_norm(lap, report.x, b):.2e}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Reproduction of Blelloch, Gupta, Koutis, Miller, Peng, Tangwongsan:
+"Near Linear-Work Parallel SDD Solvers, Low-Diameter Decomposition, and
+Low-Stretch Subgraphs" (SPAA 2011).
+
+Public API highlights
+---------------------
+* :class:`repro.graph.Graph` and :mod:`repro.graph.generators` — graph substrate.
+* :func:`repro.core.partition` / :func:`repro.core.split_graph` — parallel
+  low-diameter decomposition (Theorem 4.1).
+* :func:`repro.core.akpw_spanning_tree` — low-stretch spanning trees
+  (Theorem 5.1).
+* :func:`repro.core.low_stretch_subgraph` — low-stretch ultra-sparse
+  subgraphs (Theorem 5.9).
+* :class:`repro.core.SDDSolver` / :func:`repro.core.sdd_solve` — the near
+  linear-work SDD solver (Theorem 1.1).
+* :mod:`repro.apps` — spectral sparsification, approximate max-flow, and
+  decomposition spanners built on the solver.
+* :class:`repro.pram.CostModel` — PRAM work/depth accounting used by the
+  benchmarks.
+"""
+
+from repro.graph.graph import Graph
+from repro.core.decomposition import split_graph, partition, Decomposition
+from repro.core.akpw import akpw_spanning_tree, AKPWParameters
+from repro.core.sparse_akpw import low_stretch_subgraph, sparse_akpw, SparseAKPWParameters
+from repro.core.solver import SDDSolver, sdd_solve, SolveReport
+from repro.pram.model import CostModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "split_graph",
+    "partition",
+    "Decomposition",
+    "akpw_spanning_tree",
+    "AKPWParameters",
+    "low_stretch_subgraph",
+    "sparse_akpw",
+    "SparseAKPWParameters",
+    "SDDSolver",
+    "sdd_solve",
+    "SolveReport",
+    "CostModel",
+    "__version__",
+]

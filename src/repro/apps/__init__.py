@@ -1,0 +1,27 @@
+"""Applications of the parallel SDD solver and decomposition (Section 1).
+
+* :mod:`~repro.apps.sparsification` — spectral sparsification via effective
+  resistances (Spielman–Srivastava), using the solver for the resistance
+  estimates.
+* :mod:`~repro.apps.maxflow` — (1 - eps)-approximate maximum flow /
+  minimum cut on undirected graphs via electrical flows (Christiano et al.),
+  with an exact augmenting-path baseline.
+* :mod:`~repro.apps.spanner` — low-stretch spanners / approximate
+  shortest-path distances from the low-diameter decomposition itself.
+"""
+
+from repro.apps.sparsification import spectral_sparsify, effective_resistances, SparsifierResult
+from repro.apps.maxflow import approx_max_flow, exact_max_flow, MaxFlowResult
+from repro.apps.spanner import decomposition_spanner, approximate_distances, SpannerResult
+
+__all__ = [
+    "spectral_sparsify",
+    "effective_resistances",
+    "SparsifierResult",
+    "approx_max_flow",
+    "exact_max_flow",
+    "MaxFlowResult",
+    "decomposition_spanner",
+    "approximate_distances",
+    "SpannerResult",
+]

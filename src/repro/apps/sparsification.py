@@ -1,0 +1,171 @@
+"""Spectral sparsification by effective resistances (Spielman–Srivastava).
+
+The paper notes (Section 1, "Some Applications") that spectral sparsifiers
+follow from O(log n) Laplacian solves.  This module implements the
+Spielman–Srivastava construction on top of :class:`repro.core.solver.SDDSolver`:
+
+1. effective resistances are estimated as
+   ``R_eff(u, v) ≈ ||Q B L^+ (e_u - e_v)||^2`` where ``B`` is the weighted
+   incidence matrix and ``Q`` a random ±1 Johnson–Lindenstrauss projection
+   with ``O(log n / eps^2)`` rows — each row costs one solve;
+2. ``q`` edges are sampled with replacement with probability proportional to
+   ``w_e * R_eff(e)`` (their leverage scores) and reweighted by
+   ``w_e / (q p_e)``.
+
+The result ``H`` satisfies ``(1 - eps) L_G ⪯ L_H ⪯ (1 + eps) L_G`` with high
+probability; the benchmark measures the realized quadratic-form distortion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.solver import SDDSolver
+from repro.graph.graph import Graph
+from repro.graph.laplacian import graph_to_laplacian
+from repro.util.rng import RngLike, as_rng
+
+
+@dataclass
+class SparsifierResult:
+    """A spectral sparsifier and its bookkeeping.
+
+    Attributes
+    ----------
+    graph:
+        The sparsifier ``H`` (same vertex set, reweighted sampled edges).
+    resistances:
+        The estimated effective resistance of every original edge.
+    num_samples:
+        Number of samples drawn (with replacement).
+    stats:
+        Diagnostics (sum of leverage scores, distinct edges kept, ...).
+    """
+
+    graph: Graph
+    resistances: np.ndarray
+    num_samples: int
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+def effective_resistances(
+    graph: Graph,
+    *,
+    jl_dimension: Optional[int] = None,
+    epsilon: float = 0.3,
+    solver: Optional[SDDSolver] = None,
+    solver_tol: float = 1e-6,
+    seed: RngLike = None,
+    exact: bool = False,
+) -> np.ndarray:
+    """Estimate the effective resistance of every edge of ``graph``.
+
+    Parameters
+    ----------
+    jl_dimension:
+        Number of random projection rows; defaults to
+        ``ceil(24 log n / eps^2)`` capped at 200.  Each row costs one
+        Laplacian solve.
+    exact:
+        Compute exact resistances with a dense pseudo-inverse instead
+        (testing / small graphs only).
+    solver:
+        Reuse an existing solver for the graph (otherwise one is built).
+    """
+    rng = as_rng(seed)
+    n, m = graph.n, graph.num_edges
+    if m == 0:
+        return np.zeros(0)
+    lap = graph_to_laplacian(graph)
+    if exact:
+        pinv = np.linalg.pinv(lap.toarray(), hermitian=True)
+        return pinv[graph.u, graph.u] + pinv[graph.v, graph.v] - 2 * pinv[graph.u, graph.v]
+    if jl_dimension is None:
+        jl_dimension = min(200, int(math.ceil(24.0 * math.log(max(n, 2)) / epsilon**2)))
+    jl_dimension = max(4, jl_dimension)
+    if solver is None:
+        solver = SDDSolver(graph, seed=rng)
+    incidence = graph.incidence_matrix()  # rows scaled by sqrt(w)
+    # Z has shape (jl_dimension, n); row k = L^+ B^T q_k with q_k a random
+    # +-1/sqrt(d) vector over the edges.
+    z_rows = np.empty((jl_dimension, n))
+    scale = 1.0 / math.sqrt(jl_dimension)
+    for k in range(jl_dimension):
+        q = rng.choice([-1.0, 1.0], size=m) * scale
+        rhs = incidence.T @ q
+        rhs = rhs - rhs.mean()
+        report = solver.solve(rhs, tol=solver_tol)
+        z_rows[k] = report.x
+    diff = z_rows[:, graph.u] - z_rows[:, graph.v]
+    return np.maximum(np.sum(diff**2, axis=0), 1e-15)
+
+
+def spectral_sparsify(
+    graph: Graph,
+    epsilon: float = 0.5,
+    *,
+    num_samples: Optional[int] = None,
+    seed: RngLike = None,
+    solver_tol: float = 1e-6,
+    exact_resistances: bool = False,
+) -> SparsifierResult:
+    """Build a spectral sparsifier of ``graph`` (Spielman–Srivastava).
+
+    Parameters
+    ----------
+    epsilon:
+        Target spectral approximation quality.
+    num_samples:
+        Number of edge samples ``q``; defaults to
+        ``ceil(9 n log n / eps^2)``.
+    exact_resistances:
+        Use exact effective resistances (dense; for tests and small graphs).
+    """
+    rng = as_rng(seed)
+    n, m = graph.n, graph.num_edges
+    if m == 0:
+        return SparsifierResult(graph.copy(), np.zeros(0), 0)
+    resistances = effective_resistances(
+        graph,
+        epsilon=epsilon,
+        seed=rng,
+        solver_tol=solver_tol,
+        exact=exact_resistances,
+    )
+    leverage = graph.w * resistances
+    probs = leverage / leverage.sum()
+    if num_samples is None:
+        num_samples = int(math.ceil(9.0 * n * math.log(max(n, 2)) / epsilon**2))
+    num_samples = max(num_samples, n)
+    counts = rng.multinomial(num_samples, probs)
+    chosen = np.flatnonzero(counts)
+    new_w = graph.w[chosen] * counts[chosen] / (num_samples * probs[chosen])
+    h = Graph(n, graph.u[chosen], graph.v[chosen], new_w)
+    stats = {
+        "total_leverage": float(leverage.sum()),
+        "distinct_edges": float(chosen.size),
+        "epsilon": float(epsilon),
+    }
+    return SparsifierResult(graph=h, resistances=resistances, num_samples=int(num_samples), stats=stats)
+
+
+def quadratic_form_distortion(
+    original: Graph, sparsifier: Graph, num_probes: int = 25, seed: RngLike = None
+) -> float:
+    """Maximum relative deviation of ``x^T L_H x`` from ``x^T L_G x`` over random probes."""
+    rng = as_rng(seed)
+    lg = graph_to_laplacian(original)
+    lh = graph_to_laplacian(sparsifier)
+    worst = 0.0
+    for _ in range(num_probes):
+        x = rng.standard_normal(original.n)
+        x -= x.mean()
+        qg = float(x @ (lg @ x))
+        qh = float(x @ (lh @ x))
+        if qg > 1e-12:
+            worst = max(worst, abs(qh - qg) / qg)
+    return worst

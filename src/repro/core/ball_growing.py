@@ -1,0 +1,204 @@
+"""Delayed multi-source parallel ball growing.
+
+This is the primitive behind the low-diameter decomposition (Section 4 of the
+paper): from every center ``s`` a ball of hop radius ``r - delta_s`` is grown,
+where ``delta_s`` is a random "jitter", and every reached vertex is assigned
+to the center minimizing ``dist(u, s) + delta_s`` (ties broken by smaller
+center id).  Equivalently — and this is how both the paper describes it and
+how we implement it — each center's BFS wave is *delayed* by ``delta_s``
+rounds and vertices join the first wave that reaches them.
+
+The level-synchronous implementation below runs one NumPy-vectorized frontier
+expansion per time step, which is exactly the parallel ball-growing primitive
+of Section 2: ``O(log n)`` depth per level and work proportional to the edges
+scanned.  Because every vertex joins exactly one wave, the total work is
+linear in the edges incident to the covered region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph._gather import gather_ranges
+from repro.graph.graph import Graph
+from repro.pram.model import CostModel, null_cost
+from repro.pram.primitives import charge_bfs_round, charge_map
+
+
+@dataclass
+class BallGrowth:
+    """Result of one delayed multi-source ball growing pass.
+
+    Attributes
+    ----------
+    owner:
+        Per-vertex owning center (a vertex id), or ``-1`` if the vertex was
+        not reached within the radius (or was not alive).
+    arrival:
+        Per-vertex arrival time ``dist(u, owner) + delta_owner`` (``-1`` if
+        unreached).
+    parent:
+        Per-vertex BFS parent within its component (``-1`` for centers and
+        unreached vertices).  The parent chain stays inside the component,
+        which is what gives the decomposition its *strong* diameter
+        guarantee.
+    parent_edge:
+        Edge index used to reach the vertex from its parent (``-1`` if none).
+    rounds:
+        Number of synchronous rounds executed.
+    """
+
+    owner: np.ndarray
+    arrival: np.ndarray
+    parent: np.ndarray
+    parent_edge: np.ndarray
+    rounds: int
+
+    def covered(self) -> np.ndarray:
+        """Boolean mask of vertices assigned to some center."""
+        return self.owner >= 0
+
+
+def grow_balls(
+    graph: Graph,
+    centers: np.ndarray,
+    delays: np.ndarray,
+    radius: int,
+    alive: Optional[np.ndarray] = None,
+    cost: Optional[CostModel] = None,
+) -> BallGrowth:
+    """Grow delayed BFS balls from ``centers`` and assign vertices to waves.
+
+    Parameters
+    ----------
+    graph:
+        The (unweighted-by-hop-count) graph to grow in.  Edge weights are
+        ignored; distances are hop counts, as in Section 4.
+    centers:
+        Vertex ids of the ball centers (the set ``S^(t)``).
+    delays:
+        Non-negative integer jitter ``delta_s`` per center.  Center ``s``
+        starts its wave at time ``delta_s`` and grows to hop radius
+        ``radius - delta_s``.
+    radius:
+        Maximum arrival time ``r^(t)``; the growth runs for ``radius + 1``
+        synchronous rounds (times ``0 .. radius``).
+    alive:
+        Optional boolean mask restricting the growth to a vertex subset (the
+        surviving vertices ``V^(t)``); distances are measured inside the
+        induced subgraph, never through dead vertices.
+    cost:
+        Optional PRAM cost model to charge.
+
+    Returns
+    -------
+    BallGrowth
+        Owner / arrival / parent arrays over the *full* vertex range (entries
+        of non-alive vertices stay ``-1``).
+    """
+    cost = cost or null_cost()
+    n = graph.n
+    centers = np.asarray(centers, dtype=np.int64)
+    delays = np.asarray(delays, dtype=np.int64)
+    if centers.shape != delays.shape:
+        raise ValueError("centers and delays must have the same shape")
+    if np.any(delays < 0):
+        raise ValueError("delays must be non-negative")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+
+    owner = np.full(n, -1, dtype=np.int64)
+    arrival = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    if n == 0 or centers.size == 0:
+        return BallGrowth(owner, arrival, parent, parent_edge, rounds=0)
+
+    alive_mask = np.ones(n, dtype=bool) if alive is None else np.asarray(alive, dtype=bool)
+    if alive_mask.shape[0] != n:
+        raise ValueError("alive mask must have one entry per vertex")
+    if not np.all(alive_mask[centers]):
+        raise ValueError("all centers must be alive")
+
+    indptr, neighbors, edge_ids = graph.adjacency
+    charge_map(cost, centers.size)
+
+    # Sort centers by delay so that activations per time step are cheap.
+    delay_order = np.argsort(delays, kind="stable")
+    centers_sorted = centers[delay_order]
+    delays_sorted = delays[delay_order]
+    activation_ptr = 0
+
+    frontier = np.empty(0, dtype=np.int64)
+    rounds = 0
+    for time in range(radius + 1):
+        cand_v_parts = []
+        cand_owner_parts = []
+        cand_parent_parts = []
+        cand_edge_parts = []
+
+        # Wave expansion from the previous frontier.
+        if frontier.size:
+            positions, owner_idx = gather_ranges(indptr, frontier)
+            charge_bfs_round(cost, positions.size, n)
+            rounds += 1
+            if positions.size:
+                nbrs = neighbors[positions]
+                eids = edge_ids[positions]
+                props = owner[frontier][owner_idx]
+                parents = frontier[owner_idx]
+                mask = alive_mask[nbrs] & (owner[nbrs] < 0)
+                cand_v_parts.append(nbrs[mask])
+                cand_owner_parts.append(props[mask])
+                cand_parent_parts.append(parents[mask])
+                cand_edge_parts.append(eids[mask])
+        # Centers whose delay expires now and that are still unclaimed start
+        # their own wave (claiming themselves).
+        act_end = activation_ptr
+        while act_end < centers_sorted.size and delays_sorted[act_end] == time:
+            act_end += 1
+        if act_end > activation_ptr:
+            new_centers = centers_sorted[activation_ptr:act_end]
+            new_centers = new_centers[owner[new_centers] < 0]
+            if new_centers.size:
+                cand_v_parts.append(new_centers)
+                cand_owner_parts.append(new_centers)
+                cand_parent_parts.append(np.full(new_centers.size, -1, dtype=np.int64))
+                cand_edge_parts.append(np.full(new_centers.size, -1, dtype=np.int64))
+            activation_ptr = act_end
+
+        if not cand_v_parts:
+            if activation_ptr >= centers_sorted.size and frontier.size == 0:
+                break
+            frontier = np.empty(0, dtype=np.int64)
+            continue
+
+        cand_v = np.concatenate(cand_v_parts)
+        cand_owner = np.concatenate(cand_owner_parts)
+        cand_parent = np.concatenate(cand_parent_parts)
+        cand_edge = np.concatenate(cand_edge_parts)
+
+        # Resolve conflicts: per candidate vertex keep the smallest owner id
+        # (the paper's consistent lexicographic tie-break).
+        order = np.lexsort((cand_owner, cand_v))
+        cand_v = cand_v[order]
+        cand_owner = cand_owner[order]
+        cand_parent = cand_parent[order]
+        cand_edge = cand_edge[order]
+        first = np.ones(cand_v.size, dtype=bool)
+        first[1:] = cand_v[1:] != cand_v[:-1]
+
+        winners = cand_v[first]
+        owner[winners] = cand_owner[first]
+        arrival[winners] = time
+        parent[winners] = cand_parent[first]
+        parent_edge[winners] = cand_edge[first]
+        frontier = winners
+
+        if activation_ptr >= centers_sorted.size and frontier.size == 0:
+            break
+
+    return BallGrowth(owner, arrival, parent, parent_edge, rounds=rounds)

@@ -1,0 +1,267 @@
+"""Parallel greedy elimination (partial Cholesky on degree <= 2 vertices).
+
+``GreedyElimination`` (Lemma 6.5) removes degree-1 vertices ("rake") and an
+independent set of degree-2 vertices ("compress") round by round until no
+low-degree vertices remain, mirroring parallel tree contraction.  Eliminating
+those vertices corresponds to a partial Cholesky factorization whose Schur
+complement is again a graph Laplacian:
+
+* degree-1 vertex ``v`` with neighbor ``u`` (weight ``w``):
+  the vertex is simply removed; solving transfers as
+  ``b'_u = b_u + b_v`` (forward) and ``x_v = x_u + b_v / w`` (backward);
+* degree-2 vertex ``v`` with neighbors ``u1, u2`` (weights ``w1, w2``):
+  it is spliced out, adding an edge ``(u1, u2)`` of weight
+  ``w1 w2 / (w1 + w2)``; forward
+  ``b'_{u_i} = b_{u_i} + w_i / (w1 + w2) * b_v`` and backward
+  ``x_v = (w1 x_{u1} + w2 x_{u2} + b_v) / (w1 + w2)``.
+
+The independent set of degree-2 vertices is chosen by the random marking of
+Lemma 6.5 (heads with probability 1/3, keep heads with no heads neighbor),
+which removes a constant fraction of the "extra" vertices per round with
+high probability, giving O(log n) rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.pram.model import CostModel, null_cost
+from repro.pram.primitives import charge_filter, charge_map
+from repro.util.rng import RngLike, as_rng
+
+
+@dataclass
+class EliminationResult:
+    """A partial Cholesky elimination of low-degree vertices.
+
+    Attributes
+    ----------
+    reduced_graph:
+        The Schur-complement graph on the kept vertices (relabeled
+        ``0..len(kept)-1``).
+    kept_vertices:
+        Original vertex ids of the kept vertices (sorted).
+    operations:
+        Elimination steps in order; each is either
+        ``("d1", v, u, w)`` or ``("d2", v, u1, w1, u2, w2)`` with *original*
+        vertex ids.
+    rounds:
+        Number of rake/compress rounds executed (the parallel depth in units
+        of rounds).
+    """
+
+    reduced_graph: Graph
+    kept_vertices: np.ndarray
+    operations: List[Tuple]
+    rounds: int
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_eliminated(self) -> int:
+        """Number of vertices eliminated."""
+        return len(self.operations)
+
+    # ------------------------------------------------------------------ #
+    # solve transfer
+    # ------------------------------------------------------------------ #
+    def forward_rhs(self, b: np.ndarray) -> np.ndarray:
+        """Transfer a right-hand side to the reduced system.
+
+        Returns the reduced right-hand side indexed by the reduced graph's
+        vertex numbering (i.e. position ``i`` corresponds to
+        ``kept_vertices[i]``).
+        """
+        b_full = np.asarray(b, dtype=float).copy()
+        for op in self.operations:
+            if op[0] == "d1":
+                _, v, u, _w = op
+                b_full[u] += b_full[v]
+            else:
+                _, v, u1, w1, u2, w2 = op
+                total = w1 + w2
+                b_full[u1] += (w1 / total) * b_full[v]
+                b_full[u2] += (w2 / total) * b_full[v]
+        return b_full[self.kept_vertices]
+
+    def backward_solution(self, b: np.ndarray, x_reduced: np.ndarray) -> np.ndarray:
+        """Extend a reduced solution back to all original vertices."""
+        b_full = np.asarray(b, dtype=float).copy()
+        # Re-run the forward pass: because an eliminated vertex is never a
+        # neighbor of a later elimination, its final forwarded value equals
+        # its value at elimination time, which is what back substitution
+        # needs.
+        for op in self.operations:
+            if op[0] == "d1":
+                _, v, u, _w = op
+                b_full[u] += b_full[v]
+            else:
+                _, v, u1, w1, u2, w2 = op
+                total = w1 + w2
+                b_full[u1] += (w1 / total) * b_full[v]
+                b_full[u2] += (w2 / total) * b_full[v]
+        x = np.zeros(b_full.shape[0], dtype=float)
+        x[self.kept_vertices] = np.asarray(x_reduced, dtype=float)
+        for op in reversed(self.operations):
+            if op[0] == "d1":
+                _, v, u, w = op
+                x[v] = x[u] + b_full[v] / w
+            else:
+                _, v, u1, w1, u2, w2 = op
+                total = w1 + w2
+                x[v] = (w1 * x[u1] + w2 * x[u2] + b_full[v]) / total
+        return x
+
+
+def _adjacency_dicts(graph: Graph) -> List[Dict[int, float]]:
+    """Dict-of-dicts adjacency with parallel edges coalesced."""
+    adj: List[Dict[int, float]] = [dict() for _ in range(graph.n)]
+    for u, v, w in zip(graph.u, graph.v, graph.w):
+        u = int(u)
+        v = int(v)
+        w = float(w)
+        adj[u][v] = adj[u].get(v, 0.0) + w
+        adj[v][u] = adj[v].get(u, 0.0) + w
+    return adj
+
+
+def greedy_elimination(
+    graph: Graph,
+    seed: RngLike = None,
+    *,
+    cost: Optional[CostModel] = None,
+    max_rounds: int = 200,
+    min_vertices: int = 1,
+    parallel_degree2: bool = True,
+) -> EliminationResult:
+    """Lemma 6.5: eliminate degree-1 and (an independent set of) degree-2 vertices.
+
+    Parameters
+    ----------
+    graph:
+        The Laplacian graph to reduce (conductance weights).
+    min_vertices:
+        Never eliminate below this many vertices (at least one vertex per
+        component must remain for the Laplacian solve transfer to be
+        well-posed; the chain keeps the bottom graphs non-trivial anyway).
+    parallel_degree2:
+        Use the randomized independent-set marking of the parallel algorithm
+        (True) or eliminate degree-2 vertices greedily one at a time
+        (False, the sequential reference behaviour).
+
+    Returns
+    -------
+    EliminationResult
+    """
+    cost = cost or null_cost()
+    rng = as_rng(seed)
+    n = graph.n
+    adj = _adjacency_dicts(graph)
+    charge_map(cost, graph.num_edges)
+    alive = np.ones(n, dtype=bool)
+    operations: List[Tuple] = []
+    alive_count = n
+    rounds = 0
+
+    def degree(v: int) -> int:
+        return len(adj[v])
+
+    def eliminate_degree1(v: int) -> None:
+        nonlocal alive_count
+        (u, w), = adj[v].items()
+        operations.append(("d1", v, u, w))
+        del adj[u][v]
+        adj[v].clear()
+        alive[v] = False
+        alive_count -= 1
+
+    def eliminate_degree2(v: int) -> None:
+        nonlocal alive_count
+        (u1, w1), (u2, w2) = adj[v].items()
+        operations.append(("d2", v, u1, w1, u2, w2))
+        del adj[u1][v]
+        del adj[u2][v]
+        adj[v].clear()
+        new_w = w1 * w2 / (w1 + w2)
+        adj[u1][u2] = adj[u1].get(u2, 0.0) + new_w
+        adj[u2][u1] = adj[u2].get(u1, 0.0) + new_w
+        alive[v] = False
+        alive_count -= 1
+
+    for _ in range(max_rounds):
+        if alive_count <= min_vertices:
+            break
+        rounds += 1
+        # --- rake: eliminate degree-1 vertices (resolve adjacent pairs). ---
+        deg1 = [v for v in range(n) if alive[v] and degree(v) == 1]
+        charge_map(cost, alive_count)
+        deg1_set = set(deg1)
+        for v in deg1:
+            if alive_count <= min_vertices:
+                break
+            if not alive[v] or degree(v) != 1:
+                continue
+            u = next(iter(adj[v]))
+            # If both endpoints of an isolated edge are degree-1, keep the
+            # smaller id as the survivor.
+            if u in deg1_set and u < v and degree(u) == 1:
+                continue
+            eliminate_degree1(v)
+        # --- compress: eliminate an independent set of degree-2 vertices. ---
+        deg2 = [v for v in range(n) if alive[v] and degree(v) == 2]
+        charge_map(cost, alive_count)
+        if deg2:
+            if parallel_degree2:
+                coins = rng.random(len(deg2)) < (1.0 / 3.0)
+                heads = {v for v, c in zip(deg2, coins) if c}
+                chosen = [
+                    v
+                    for v, c in zip(deg2, coins)
+                    if c and not any(nbr in heads for nbr in adj[v])
+                ]
+            else:
+                chosen = deg2
+            for v in chosen:
+                if alive_count <= min_vertices:
+                    break
+                if not alive[v] or degree(v) != 2:
+                    continue
+                neighbors = list(adj[v].keys())
+                if len(neighbors) == 1:
+                    # Parallel edges merged into a single neighbor: degree-1.
+                    eliminate_degree1(v)
+                    continue
+                eliminate_degree2(v)
+        charge_filter(cost, alive_count)
+        # Stop only when nothing is eliminable at all: an unlucky coin-flip
+        # round (no marked independent vertices) should simply retry.
+        if not deg1 and not deg2:
+            break
+
+    kept = np.flatnonzero(alive)
+    # Build the reduced graph from the remaining adjacency.
+    remap = np.full(n, -1, dtype=np.int64)
+    remap[kept] = np.arange(kept.shape[0])
+    ru, rv, rw = [], [], []
+    for v in kept:
+        for u, w in adj[int(v)].items():
+            if u > v:
+                ru.append(remap[v])
+                rv.append(remap[u])
+                rw.append(w)
+    reduced = Graph(kept.shape[0], np.array(ru, dtype=np.int64), np.array(rv, dtype=np.int64), np.array(rw, dtype=float))
+    stats = {
+        "rounds": float(rounds),
+        "eliminated": float(len(operations)),
+        "kept": float(kept.shape[0]),
+    }
+    return EliminationResult(
+        reduced_graph=reduced,
+        kept_vertices=kept,
+        operations=operations,
+        rounds=rounds,
+        stats=stats,
+    )

@@ -1,0 +1,196 @@
+"""Exact stretch measurement.
+
+The stretch of an edge ``e = {u, v}`` with respect to a subgraph ``G'`` is
+``str_{G'}(e) = d_{G'}(u, v) / w(e)`` (Section 2 of the paper).  This module
+measures stretches exactly:
+
+* :func:`tree_stretches` — stretches w.r.t. a spanning tree / forest, using
+  weighted depths and binary-lifting LCA (vectorized over all query edges).
+* :func:`edge_stretches` — stretches w.r.t. an arbitrary subgraph, using
+  chunked multi-source Dijkstra.
+* :func:`total_stretch` / :func:`average_stretch` — the aggregates the
+  paper's theorems bound.
+
+These functions are measurement tools used by tests and benchmarks; they are
+not part of the parallel algorithms themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.shortest_paths import shortest_path_distances
+
+
+def _tree_structure(
+    graph: Graph, tree_edges: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Root every tree component and return parents / depths / components.
+
+    Returns ``(parent, parent_weight, hop_depth, weighted_depth, component)``
+    arrays indexed by vertex.  Roots have ``parent == -1``.
+    """
+    n = graph.n
+    tree_edges = np.asarray(tree_edges, dtype=np.int64)
+    tree = graph.edge_subgraph(tree_edges)
+    if tree.num_edges >= n:
+        raise ValueError("tree_edges contains a cycle (too many edges)")
+    indptr, neighbors, local_eids = tree.adjacency
+
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_w = np.zeros(n, dtype=np.float64)
+    hop_depth = np.zeros(n, dtype=np.int64)
+    w_depth = np.zeros(n, dtype=np.float64)
+    component = np.full(n, -1, dtype=np.int64)
+
+    visited = np.zeros(n, dtype=bool)
+    comp = 0
+    for root in range(n):
+        if visited[root]:
+            continue
+        visited[root] = True
+        component[root] = comp
+        stack = [root]
+        while stack:
+            x = stack.pop()
+            for pos in range(indptr[x], indptr[x + 1]):
+                y = int(neighbors[pos])
+                if visited[y]:
+                    continue
+                visited[y] = True
+                component[y] = comp
+                parent[y] = x
+                parent_w[y] = tree.w[local_eids[pos]]
+                hop_depth[y] = hop_depth[x] + 1
+                w_depth[y] = w_depth[x] + parent_w[y]
+                stack.append(y)
+        comp += 1
+    return parent, parent_w, hop_depth, w_depth, component
+
+
+def tree_stretches(
+    graph: Graph,
+    tree_edges: np.ndarray,
+    query_edges: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Stretch of every (query) edge of ``graph`` with respect to a tree.
+
+    Parameters
+    ----------
+    graph:
+        The original weighted graph.
+    tree_edges:
+        Edge indices (into ``graph``) forming a forest; every query edge's
+        endpoints must lie in the same tree component.
+    query_edges:
+        Edge indices whose stretch to compute; defaults to all edges.
+
+    Returns
+    -------
+    np.ndarray
+        ``d_T(u, v) / w(e)`` per query edge.  ``inf`` when the endpoints are
+        in different forest components.
+    """
+    parent, _parent_w, hop_depth, w_depth, component = _tree_structure(graph, tree_edges)
+    n = graph.n
+    if query_edges is None:
+        query_edges = np.arange(graph.num_edges, dtype=np.int64)
+    else:
+        query_edges = np.asarray(query_edges, dtype=np.int64)
+    qu = graph.u[query_edges].copy()
+    qv = graph.v[query_edges].copy()
+    weights = graph.w[query_edges]
+
+    # Binary lifting ancestor tables.
+    max_depth = int(hop_depth.max(initial=0))
+    levels = max(1, int(np.ceil(np.log2(max_depth + 1))) + 1)
+    up = np.empty((levels, n), dtype=np.int64)
+    root_mask = parent < 0
+    up[0] = np.where(root_mask, np.arange(n), parent)
+    for k in range(1, levels):
+        up[k] = up[k - 1][up[k - 1]]
+
+    same_comp = component[qu] == component[qv]
+    a = qu.copy()
+    b = qv.copy()
+    # Ensure depth(a) >= depth(b).
+    swap = hop_depth[a] < hop_depth[b]
+    a[swap], b[swap] = b[swap], a[swap].copy()
+    # Lift a up to b's depth.
+    diff = hop_depth[a] - hop_depth[b]
+    for k in range(levels):
+        mask = ((diff >> k) & 1).astype(bool)
+        if np.any(mask):
+            a[mask] = up[k][a[mask]]
+    lca = a.copy()
+    neq = a != b
+    if np.any(neq):
+        aa = a[neq]
+        bb = b[neq]
+        for k in range(levels - 1, -1, -1):
+            jump = up[k][aa] != up[k][bb]
+            if np.any(jump):
+                aa[jump] = up[k][aa[jump]]
+                bb[jump] = up[k][bb[jump]]
+        lca[neq] = up[0][aa]
+    dist = w_depth[qu] + w_depth[qv] - 2.0 * w_depth[lca]
+    stretches = np.where(same_comp, dist / weights, np.inf)
+    return stretches
+
+
+def _is_forest(graph: Graph, edge_indices: np.ndarray) -> bool:
+    """Whether the edge subset is acyclic (a forest)."""
+    from repro.graph.union_find import UnionFind
+
+    if edge_indices.shape[0] >= graph.n:
+        return False
+    uf = UnionFind(graph.n)
+    for e in edge_indices:
+        if not uf.union(int(graph.u[e]), int(graph.v[e])):
+            return False
+    return True
+
+
+def edge_stretches(
+    graph: Graph,
+    subgraph_edges: np.ndarray,
+    query_edges: Optional[np.ndarray] = None,
+    chunk_size: int = 256,
+) -> np.ndarray:
+    """Stretch of every (query) edge with respect to an arbitrary subgraph.
+
+    For forests this dispatches to the fast LCA path; otherwise it runs
+    chunked Dijkstra on the subgraph.
+    """
+    subgraph_edges = np.asarray(subgraph_edges, dtype=np.int64)
+    if subgraph_edges.dtype == bool:
+        subgraph_edges = np.flatnonzero(subgraph_edges)
+    if query_edges is None:
+        query_edges = np.arange(graph.num_edges, dtype=np.int64)
+    else:
+        query_edges = np.asarray(query_edges, dtype=np.int64)
+    if _is_forest(graph, subgraph_edges):
+        # Forest: use the exact LCA path (cheaper and exact).
+        return tree_stretches(graph, subgraph_edges, query_edges)
+    sub = graph.edge_subgraph(subgraph_edges)
+    pairs = np.stack([graph.u[query_edges], graph.v[query_edges]], axis=1)
+    dist = shortest_path_distances(sub, pairs, chunk_size=chunk_size)
+    return dist / graph.w[query_edges]
+
+
+def total_stretch(
+    graph: Graph, subgraph_edges: np.ndarray, query_edges: Optional[np.ndarray] = None
+) -> float:
+    """Total stretch of the (query) edges w.r.t. the subgraph."""
+    return float(np.sum(edge_stretches(graph, subgraph_edges, query_edges)))
+
+
+def average_stretch(
+    graph: Graph, subgraph_edges: np.ndarray, query_edges: Optional[np.ndarray] = None
+) -> float:
+    """Average stretch of the (query) edges w.r.t. the subgraph."""
+    stretches = edge_stretches(graph, subgraph_edges, query_edges)
+    return float(np.mean(stretches)) if stretches.size else 0.0

@@ -1,0 +1,58 @@
+"""Graph substrate: weighted undirected multigraphs and graph linear algebra.
+
+Everything the paper's algorithms need from a graph library is implemented
+here from scratch on top of NumPy/SciPy arrays:
+
+* :class:`~repro.graph.graph.Graph` — edge-array + CSR adjacency container.
+* :mod:`~repro.graph.generators` — workload generators for the experiments.
+* :mod:`~repro.graph.laplacian` — graph ⟷ Laplacian conversion and the
+  Gremban reduction from general SDD systems to Laplacians.
+* :mod:`~repro.graph.components`, :mod:`~repro.graph.shortest_paths`,
+  :mod:`~repro.graph.mst`, :mod:`~repro.graph.contraction`,
+  :mod:`~repro.graph.union_find` — classic graph primitives used as
+  sub-routines (connected components, BFS/Dijkstra, Kruskal MST, vertex
+  quotients, disjoint sets).
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.laplacian import (
+    graph_to_laplacian,
+    laplacian_to_graph,
+    is_laplacian,
+    is_sdd,
+    sdd_to_laplacian,
+    GrembanReduction,
+)
+from repro.graph.components import connected_components, is_connected, largest_component
+from repro.graph.mst import minimum_spanning_tree_edges, maximum_spanning_tree_edges
+from repro.graph.shortest_paths import (
+    bfs_distances,
+    bfs_tree,
+    dijkstra_distances,
+    shortest_path_distances,
+)
+from repro.graph.contraction import contract_vertices
+from repro.graph.union_find import UnionFind
+from repro.graph import generators
+
+__all__ = [
+    "Graph",
+    "graph_to_laplacian",
+    "laplacian_to_graph",
+    "is_laplacian",
+    "is_sdd",
+    "sdd_to_laplacian",
+    "GrembanReduction",
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "minimum_spanning_tree_edges",
+    "maximum_spanning_tree_edges",
+    "bfs_distances",
+    "bfs_tree",
+    "dijkstra_distances",
+    "shortest_path_distances",
+    "contract_vertices",
+    "UnionFind",
+    "generators",
+]

@@ -1,0 +1,42 @@
+"""Vectorized multi-range gather used by all frontier-synchronous traversals.
+
+Given CSR arrays and a frontier of vertices, collect the concatenation of all
+their adjacency ranges without a Python-level loop.  This is the inner loop
+of parallel BFS / ball growing, so it must be fully vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def gather_ranges(
+    indptr: np.ndarray, frontier: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return flattened CSR positions for every vertex in ``frontier``.
+
+    Returns
+    -------
+    positions:
+        Indices into the CSR ``neighbors`` / ``edge_ids`` arrays covering the
+        adjacency lists of all frontier vertices, in frontier order.
+    owners:
+        For each position, the index *into the frontier array* of the vertex
+        that owns that adjacency entry (useful for propagating per-source
+        values such as distances or owner labels).
+    """
+    starts = indptr[frontier]
+    ends = indptr[frontier + 1]
+    counts = (ends - starts).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    owners = np.repeat(np.arange(frontier.shape[0], dtype=np.int64), counts)
+    # positions = starts[owner] + (local offset within the owner's range)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.concatenate([[0], np.cumsum(counts)[:-1]]), counts
+    )
+    positions = starts[owners] + offsets
+    return positions, owners

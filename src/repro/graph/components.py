@@ -1,0 +1,63 @@
+"""Connected components via frontier-synchronous BFS.
+
+Also charges PRAM cost when given a cost model: components are found by
+parallel BFS, O(component diameter) rounds per component with work
+proportional to edges scanned.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph._gather import gather_ranges
+from repro.graph.graph import Graph
+from repro.pram.model import CostModel, null_cost
+from repro.pram.primitives import charge_bfs_round
+
+
+def connected_components(graph: Graph, cost: Optional[CostModel] = None) -> Tuple[int, np.ndarray]:
+    """Number of components and a per-vertex component label array."""
+    cost = cost or null_cost()
+    n = graph.n
+    labels = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return 0, labels
+    indptr, neighbors, _ = graph.adjacency
+    comp = 0
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        labels[start] = comp
+        frontier = np.array([start], dtype=np.int64)
+        while frontier.size:
+            positions, _ = gather_ranges(indptr, frontier)
+            charge_bfs_round(cost, positions.size, n)
+            if positions.size == 0:
+                break
+            nbrs = np.unique(neighbors[positions])
+            new = nbrs[labels[nbrs] < 0]
+            if new.size == 0:
+                break
+            labels[new] = comp
+            frontier = new
+        comp += 1
+    return comp, labels
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is connected (vacuously true for n <= 1)."""
+    if graph.n <= 1:
+        return True
+    count, _ = connected_components(graph)
+    return count == 1
+
+
+def largest_component(graph: Graph) -> np.ndarray:
+    """Vertex indices of the largest connected component."""
+    count, labels = connected_components(graph)
+    if count <= 1:
+        return np.arange(graph.n, dtype=np.int64)
+    sizes = np.bincount(labels, minlength=count)
+    return np.flatnonzero(labels == int(np.argmax(sizes)))

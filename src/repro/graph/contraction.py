@@ -1,0 +1,60 @@
+"""Vertex-quotient contraction (graph minors).
+
+Contraction is the workhorse of the AKPW construction (Algorithm 5.1 step
+iv.3): after each partition round, every low-diameter component is collapsed
+into a single super-vertex, self-loops are discarded and parallel edges are
+kept.  The function below performs the quotient and reports which original
+edges survive so callers can keep tracking edge identities across rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.pram.model import CostModel, null_cost
+from repro.pram.primitives import charge_filter, charge_map
+
+
+def contract_vertices(
+    graph: Graph,
+    labels: np.ndarray,
+    cost: CostModel = None,
+) -> Tuple[Graph, np.ndarray, int]:
+    """Contract every label class of ``labels`` into a single vertex.
+
+    Parameters
+    ----------
+    graph:
+        Input multigraph.
+    labels:
+        Per-vertex integer labels; vertices sharing a label are merged.
+        Labels need not be contiguous — they are compacted internally.
+
+    Returns
+    -------
+    contracted:
+        The quotient multigraph (parallel edges preserved, self-loops
+        dropped).
+    surviving_edges:
+        Indices (into ``graph``'s edge arrays) of the edges that survive,
+        aligned with the contracted graph's edge arrays.
+    num_groups:
+        Number of super-vertices.
+    """
+    cost = cost or null_cost()
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape[0] != graph.n:
+        raise ValueError("labels must have one entry per vertex")
+    uniq, compact = np.unique(labels, return_inverse=True)
+    num_groups = int(uniq.shape[0])
+    charge_map(cost, graph.n)
+    new_u = compact[graph.u]
+    new_v = compact[graph.v]
+    keep = new_u != new_v
+    charge_filter(cost, graph.num_edges)
+    surviving = np.flatnonzero(keep)
+    contracted = Graph(num_groups, new_u[surviving], new_v[surviving], graph.w[surviving])
+    return contracted, surviving, num_groups

@@ -1,0 +1,274 @@
+"""Core weighted undirected multigraph container.
+
+The :class:`Graph` stores edges as three parallel NumPy arrays ``(u, v, w)``
+with each undirected edge stored exactly once, plus a lazily-built CSR
+adjacency structure over *both* directions for traversal.  This mirrors the
+compressed-sparse-row representation the paper assumes for its parallel
+ball-growing primitive and keeps all per-edge algorithms (decomposition,
+stretch computation, sparsification) vectorizable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class Graph:
+    """An undirected weighted multigraph on vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    u, v:
+        Integer arrays of endpoints; edge ``i`` connects ``u[i]`` and ``v[i]``.
+        Self-loops are rejected (they carry no information for Laplacians).
+    w:
+        Positive edge weights.  Defaults to all ones.
+
+    Notes
+    -----
+    * Edges are **directionless**: ``(u, v)`` and ``(v, u)`` denote the same
+      edge.  Internally endpoints are kept as given.
+    * Parallel edges are allowed (they arise naturally from the contractions
+      in the AKPW algorithm); :meth:`coalesce` merges them by summing
+      weights.
+    """
+
+    __slots__ = ("n", "u", "v", "w", "_adj")
+
+    def __init__(
+        self,
+        n: int,
+        u: Iterable[int],
+        v: Iterable[int],
+        w: Optional[Iterable[float]] = None,
+    ) -> None:
+        self.n = int(n)
+        self.u = np.asarray(u, dtype=np.int64).ravel()
+        self.v = np.asarray(v, dtype=np.int64).ravel()
+        if self.u.shape != self.v.shape:
+            raise ValueError("u and v must have the same length")
+        if w is None:
+            self.w = np.ones(self.u.shape[0], dtype=np.float64)
+        else:
+            self.w = np.asarray(w, dtype=np.float64).ravel()
+            if self.w.shape != self.u.shape:
+                raise ValueError("w must have the same length as u and v")
+        if self.u.size:
+            if self.u.min(initial=0) < 0 or self.v.min(initial=0) < 0:
+                raise ValueError("vertex indices must be non-negative")
+            if max(self.u.max(initial=-1), self.v.max(initial=-1)) >= self.n:
+                raise ValueError("vertex index out of range")
+            if np.any(self.u == self.v):
+                raise ValueError("self-loops are not allowed")
+            if np.any(self.w <= 0):
+                raise ValueError("edge weights must be positive")
+        self._adj: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self.n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges ``m``."""
+        return int(self.u.shape[0])
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return float(self.w.sum())
+
+    def degrees(self, weighted: bool = False) -> np.ndarray:
+        """Per-vertex degree (edge count) or weighted degree."""
+        vals = self.w if weighted else np.ones_like(self.w)
+        deg = np.zeros(self.n, dtype=np.float64)
+        np.add.at(deg, self.u, vals)
+        np.add.at(deg, self.v, vals)
+        return deg if weighted else deg.astype(np.int64)
+
+    def copy(self) -> "Graph":
+        """Deep copy of the graph (adjacency cache is not copied)."""
+        return Graph(self.n, self.u.copy(), self.v.copy(), self.w.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(n={self.n}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and np.array_equal(self.u, other.u)
+            and np.array_equal(self.v, other.v)
+            and np.array_equal(self.w, other.w)
+        )
+
+    # ------------------------------------------------------------------ #
+    # adjacency
+    # ------------------------------------------------------------------ #
+    def _build_adjacency(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Build CSR adjacency arrays ``(indptr, neighbors, edge_ids)``.
+
+        Both directions of every edge are present, so ``neighbors[indptr[x] :
+        indptr[x + 1]]`` lists every neighbor of ``x`` (with multiplicity for
+        parallel edges) and ``edge_ids`` gives the owning edge index.
+        """
+        m = self.num_edges
+        src = np.concatenate([self.u, self.v])
+        dst = np.concatenate([self.v, self.u])
+        eid = np.concatenate([np.arange(m), np.arange(m)])
+        order = np.argsort(src, kind="stable")
+        src_sorted = src[order]
+        neighbors = dst[order]
+        edge_ids = eid[order]
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        counts = np.bincount(src_sorted, minlength=self.n)
+        indptr[1:] = np.cumsum(counts)
+        return indptr, neighbors, edge_ids
+
+    @property
+    def adjacency(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR adjacency ``(indptr, neighbors, edge_ids)`` (built lazily)."""
+        if self._adj is None:
+            self._adj = self._build_adjacency()
+        return self._adj
+
+    def neighbors(self, x: int) -> np.ndarray:
+        """Neighbors of vertex ``x`` (with multiplicity)."""
+        indptr, nbrs, _ = self.adjacency
+        return nbrs[indptr[x] : indptr[x + 1]]
+
+    def incident_edges(self, x: int) -> np.ndarray:
+        """Edge indices incident to vertex ``x``."""
+        indptr, _, eids = self.adjacency
+        return eids[indptr[x] : indptr[x + 1]]
+
+    def adjacency_matrix(self, weighted: bool = True) -> sp.csr_matrix:
+        """Symmetric (weighted) adjacency matrix as ``scipy.sparse.csr_matrix``."""
+        vals = self.w if weighted else np.ones_like(self.w)
+        data = np.concatenate([vals, vals])
+        rows = np.concatenate([self.u, self.v])
+        cols = np.concatenate([self.v, self.u])
+        mat = sp.coo_matrix((data, (rows, cols)), shape=(self.n, self.n))
+        return mat.tocsr()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_edge_list(n: int, edges: Iterable[Tuple[int, int, float]]) -> "Graph":
+        """Build a graph from ``(u, v, w)`` triples."""
+        edges = list(edges)
+        if not edges:
+            return Graph(n, [], [], [])
+        arr = np.asarray(edges, dtype=np.float64)
+        return Graph(n, arr[:, 0].astype(np.int64), arr[:, 1].astype(np.int64), arr[:, 2])
+
+    @staticmethod
+    def from_scipy_adjacency(adj: sp.spmatrix) -> "Graph":
+        """Build a graph from a symmetric sparse adjacency matrix."""
+        adj = sp.csr_matrix(adj)
+        coo = sp.triu(adj, k=1).tocoo()
+        return Graph(adj.shape[0], coo.row, coo.col, coo.data)
+
+    def edge_subgraph(self, edge_indices: np.ndarray) -> "Graph":
+        """Graph on the same vertex set containing only the given edges."""
+        edge_indices = np.asarray(edge_indices)
+        if edge_indices.dtype == bool:
+            edge_indices = np.flatnonzero(edge_indices)
+        return Graph(self.n, self.u[edge_indices], self.v[edge_indices], self.w[edge_indices])
+
+    def induced_subgraph(self, vertices: np.ndarray) -> Tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``vertices``.
+
+        Returns the subgraph (with vertices relabeled ``0..len(vertices)-1``)
+        and the array of original edge indices that survive.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        keep = np.full(self.n, -1, dtype=np.int64)
+        keep[vertices] = np.arange(vertices.shape[0])
+        mask = (keep[self.u] >= 0) & (keep[self.v] >= 0)
+        eidx = np.flatnonzero(mask)
+        sub = Graph(vertices.shape[0], keep[self.u[eidx]], keep[self.v[eidx]], self.w[eidx])
+        return sub, eidx
+
+    def coalesce(self) -> Tuple["Graph", np.ndarray]:
+        """Merge parallel edges by summing weights.
+
+        Returns the simple graph and an array mapping each original edge to
+        its representative edge index in the coalesced graph.
+        """
+        if self.num_edges == 0:
+            return self.copy(), np.zeros(0, dtype=np.int64)
+        lo = np.minimum(self.u, self.v)
+        hi = np.maximum(self.u, self.v)
+        keys = lo * np.int64(self.n) + hi
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        w_new = np.zeros(uniq.shape[0], dtype=np.float64)
+        np.add.at(w_new, inverse, self.w)
+        u_new = (uniq // self.n).astype(np.int64)
+        v_new = (uniq % self.n).astype(np.int64)
+        return Graph(self.n, u_new, v_new, w_new), inverse
+
+    def reweighted(self, w: np.ndarray) -> "Graph":
+        """Copy of the graph with new edge weights ``w``."""
+        return Graph(self.n, self.u.copy(), self.v.copy(), np.asarray(w, dtype=float))
+
+    def add_edges(self, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> "Graph":
+        """New graph with extra edges appended."""
+        return Graph(
+            self.n,
+            np.concatenate([self.u, np.asarray(u, dtype=np.int64)]),
+            np.concatenate([self.v, np.asarray(v, dtype=np.int64)]),
+            np.concatenate([self.w, np.asarray(w, dtype=np.float64)]),
+        )
+
+    # ------------------------------------------------------------------ #
+    # edge utilities
+    # ------------------------------------------------------------------ #
+    def edge_endpoints(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(u, v)`` endpoint arrays."""
+        return self.u, self.v
+
+    def incidence_matrix(self) -> sp.csr_matrix:
+        """Signed edge-vertex incidence matrix ``B`` (m x n).
+
+        Row ``e`` has ``+sqrt(w_e)`` at ``u[e]`` and ``-sqrt(w_e)`` at
+        ``v[e]`` so that ``B.T @ B`` equals the graph Laplacian.
+        """
+        m = self.num_edges
+        sq = np.sqrt(self.w)
+        rows = np.repeat(np.arange(m), 2)
+        cols = np.empty(2 * m, dtype=np.int64)
+        cols[0::2] = self.u
+        cols[1::2] = self.v
+        data = np.empty(2 * m, dtype=np.float64)
+        data[0::2] = sq
+        data[1::2] = -sq
+        return sp.csr_matrix((data, (rows, cols)), shape=(m, self.n))
+
+    def weight_buckets(self, base: float, w_min: Optional[float] = None) -> np.ndarray:
+        """Assign each edge to a geometric weight class.
+
+        Edge ``e`` goes to class ``i >= 1`` when ``w_e / w_min`` lies in
+        ``[base^(i-1), base^i)``.  This is the bucketing used by the AKPW
+        algorithm (Algorithm 5.1 step iii).
+        """
+        if base <= 1:
+            raise ValueError("base must be > 1")
+        if self.num_edges == 0:
+            return np.zeros(0, dtype=np.int64)
+        wm = float(self.w.min()) if w_min is None else float(w_min)
+        ratio = self.w / wm
+        # Guard against floating point issues at bucket boundaries.
+        cls = np.floor(np.log(ratio) / np.log(base) + 1e-12).astype(np.int64) + 1
+        return np.maximum(cls, 1)

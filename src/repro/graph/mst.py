@@ -1,0 +1,56 @@
+"""Minimum / maximum spanning forests (Kruskal with union-find).
+
+The MST is used by the spread-independence trick of Lemma 5.8: to start
+SparseAKPW at a "special" weight class without running all earlier
+iterations, one contracts the MST edges from lower classes.  Returning edge
+*indices* (rather than a matrix, as ``scipy`` does) is essential because the
+AKPW drivers track original edge identities through contractions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.union_find import UnionFind
+
+
+def _spanning_forest_edges(graph: Graph, order: np.ndarray) -> np.ndarray:
+    uf = UnionFind(graph.n)
+    chosen = []
+    for e in order:
+        if uf.union(int(graph.u[e]), int(graph.v[e])):
+            chosen.append(e)
+            if uf.num_sets == 1:
+                break
+    return np.asarray(chosen, dtype=np.int64)
+
+
+def minimum_spanning_tree_edges(graph: Graph) -> np.ndarray:
+    """Edge indices of a minimum-weight spanning forest (Kruskal)."""
+    if graph.num_edges == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.argsort(graph.w, kind="stable")
+    return _spanning_forest_edges(graph, order)
+
+
+def maximum_spanning_tree_edges(graph: Graph) -> np.ndarray:
+    """Edge indices of a maximum-weight spanning forest."""
+    if graph.num_edges == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.argsort(-graph.w, kind="stable")
+    return _spanning_forest_edges(graph, order)
+
+
+def is_spanning_forest(graph: Graph, edge_indices: np.ndarray) -> bool:
+    """Check that the edge set is acyclic and spans every component of ``graph``."""
+    edge_indices = np.asarray(edge_indices, dtype=np.int64)
+    uf = UnionFind(graph.n)
+    for e in edge_indices:
+        if not uf.union(int(graph.u[e]), int(graph.v[e])):
+            return False  # cycle
+    # Spanning: same number of components as the full graph.
+    uf_full = UnionFind(graph.n)
+    for e in range(graph.num_edges):
+        uf_full.union(int(graph.u[e]), int(graph.v[e]))
+    return uf.num_sets == uf_full.num_sets

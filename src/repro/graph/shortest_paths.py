@@ -1,0 +1,150 @@
+"""BFS and Dijkstra shortest paths.
+
+* :func:`bfs_distances` — level-synchronous (hop-count) BFS from one or many
+  sources, with PRAM cost accounting matching the "parallel ball growing"
+  primitive of Section 2.
+* :func:`bfs_tree` — a BFS tree restricted to a vertex subset (used to build
+  the per-component spanning trees in AKPW step iv.2).
+* :func:`dijkstra_distances` / :func:`shortest_path_distances` — weighted
+  distances via ``scipy.sparse.csgraph`` (used for exact stretch computation,
+  which is a *measurement* tool, not part of the parallel algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.graph._gather import gather_ranges
+from repro.graph.graph import Graph
+from repro.pram.model import CostModel, null_cost
+from repro.pram.primitives import charge_bfs_round
+
+
+def bfs_distances(
+    graph: Graph,
+    sources: Union[int, Sequence[int]],
+    max_depth: Optional[int] = None,
+    cost: Optional[CostModel] = None,
+) -> np.ndarray:
+    """Hop-count distances from the nearest source via level-synchronous BFS.
+
+    Unreached vertices (or vertices farther than ``max_depth``) get ``-1``.
+    """
+    cost = cost or null_cost()
+    n = graph.n
+    dist = np.full(n, -1, dtype=np.int64)
+    srcs = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    if srcs.size == 0 or n == 0:
+        return dist
+    indptr, neighbors, _ = graph.adjacency
+    dist[srcs] = 0
+    frontier = np.unique(srcs)
+    level = 0
+    while frontier.size and (max_depth is None or level < max_depth):
+        positions, _ = gather_ranges(indptr, frontier)
+        charge_bfs_round(cost, positions.size, n)
+        if positions.size == 0:
+            break
+        nbrs = neighbors[positions]
+        nbrs = np.unique(nbrs)
+        new = nbrs[dist[nbrs] < 0]
+        if new.size == 0:
+            break
+        level += 1
+        dist[new] = level
+        frontier = new
+    return dist
+
+
+def bfs_tree(
+    graph: Graph,
+    root: int,
+    allowed_vertices: Optional[np.ndarray] = None,
+    cost: Optional[CostModel] = None,
+) -> np.ndarray:
+    """Edge indices of a BFS tree rooted at ``root``.
+
+    When ``allowed_vertices`` is given, the BFS only walks inside that vertex
+    set (the induced subgraph), which is how AKPW builds a spanning tree of
+    each low-diameter component without leaving it (strong diameter).
+    """
+    cost = cost or null_cost()
+    n = graph.n
+    indptr, neighbors, edge_ids = graph.adjacency
+    allowed = np.ones(n, dtype=bool)
+    if allowed_vertices is not None:
+        allowed = np.zeros(n, dtype=bool)
+        allowed[np.asarray(allowed_vertices, dtype=np.int64)] = True
+    if not allowed[root]:
+        raise ValueError("root is not in the allowed vertex set")
+    visited = np.zeros(n, dtype=bool)
+    visited[root] = True
+    frontier = np.array([root], dtype=np.int64)
+    tree_edges = []
+    while frontier.size:
+        positions, _ = gather_ranges(indptr, frontier)
+        charge_bfs_round(cost, positions.size, n)
+        if positions.size == 0:
+            break
+        nbrs = neighbors[positions]
+        eids = edge_ids[positions]
+        ok = allowed[nbrs] & (~visited[nbrs])
+        nbrs = nbrs[ok]
+        eids = eids[ok]
+        if nbrs.size == 0:
+            break
+        # Keep one (neighbor, edge) pair per newly discovered vertex.
+        first = np.unique(nbrs, return_index=True)[1]
+        new_vertices = nbrs[first]
+        new_edges = eids[first]
+        visited[new_vertices] = True
+        tree_edges.append(new_edges)
+        frontier = new_vertices
+    if tree_edges:
+        return np.concatenate(tree_edges)
+    return np.empty(0, dtype=np.int64)
+
+
+def dijkstra_distances(
+    graph: Graph,
+    sources: Union[int, Sequence[int]],
+    *,
+    limit: float = np.inf,
+) -> np.ndarray:
+    """Weighted shortest-path distances from each source (rows) to all vertices."""
+    srcs = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+    adj = graph.adjacency_matrix(weighted=True)
+    if adj.nnz == 0:
+        out = np.full((srcs.size, graph.n), np.inf)
+        out[np.arange(srcs.size), srcs] = 0.0
+        return out
+    return csgraph.dijkstra(adj, directed=False, indices=srcs, limit=limit)
+
+
+def shortest_path_distances(
+    graph: Graph,
+    pairs: Iterable[Tuple[int, int]],
+    chunk_size: int = 256,
+) -> np.ndarray:
+    """Exact weighted distances for a list of vertex pairs.
+
+    Runs Dijkstra from the unique sources in chunks to bound memory; used by
+    the stretch-measurement code.
+    """
+    pairs = np.asarray(list(pairs), dtype=np.int64).reshape(-1, 2)
+    if pairs.size == 0:
+        return np.zeros(0)
+    out = np.empty(pairs.shape[0], dtype=float)
+    sources, inverse = np.unique(pairs[:, 0], return_inverse=True)
+    adj = graph.adjacency_matrix(weighted=True)
+    for start in range(0, sources.size, chunk_size):
+        chunk = sources[start : start + chunk_size]
+        dist = csgraph.dijkstra(adj, directed=False, indices=chunk)
+        sel = (inverse >= start) & (inverse < start + chunk.size)
+        rows = inverse[sel] - start
+        out[sel] = dist[rows, pairs[sel, 1]]
+    return out

@@ -1,0 +1,63 @@
+"""Disjoint-set (union-find) data structure.
+
+Used by Kruskal's MST, graph contraction bookkeeping, and the AKPW driver to
+maintain super-vertex labels across iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UnionFind:
+    """Union-find over elements ``0..n-1`` with path compression + union by size."""
+
+    __slots__ = ("parent", "size", "_count")
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+        self._count = int(n)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of disjoint sets currently."""
+        return self._count
+
+    def find(self, x: int) -> int:
+        """Representative of the set containing ``x`` (with path compression)."""
+        root = x
+        parent = self.parent
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return int(root)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; return True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self._count -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def labels(self, compact: bool = True) -> np.ndarray:
+        """Per-element set labels.
+
+        With ``compact=True`` labels are renumbered ``0..num_sets-1`` in order
+        of first appearance.
+        """
+        roots = np.array([self.find(i) for i in range(self.parent.shape[0])], dtype=np.int64)
+        if not compact:
+            return roots
+        _, labels = np.unique(roots, return_inverse=True)
+        return labels.astype(np.int64)

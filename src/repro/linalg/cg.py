@@ -1,0 +1,122 @@
+"""(Preconditioned) conjugate gradient.
+
+Used both as the baseline solver in the benchmarks and as the outer/inner
+iteration of the recursive preconditioned solver (the paper analyzes
+preconditioned Chebyshev for its depth bounds; CG has the same
+``sqrt(kappa)`` convergence and needs no eigenvalue estimates, which is the
+standard practical choice — see DESIGN.md substitutions).
+
+Singular systems (graph Laplacians of connected graphs) are handled by
+projecting iterates onto the complement of the all-ones null space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.linalg.operators import MatrixLike, as_operator
+
+
+@dataclass
+class CGResult:
+    """Result of a conjugate gradient run.
+
+    Attributes
+    ----------
+    x:
+        The (approximate) solution.
+    iterations:
+        Number of CG iterations performed.
+    converged:
+        Whether the residual tolerance was reached.
+    residual_norms:
+        Relative residual 2-norm after each iteration (including iteration 0).
+    """
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norms: List[float] = field(default_factory=list)
+
+
+def conjugate_gradient(
+    matrix: MatrixLike,
+    b: np.ndarray,
+    *,
+    tol: float = 1e-8,
+    max_iterations: int = 1000,
+    preconditioner: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    x0: Optional[np.ndarray] = None,
+    project_nullspace: bool = False,
+    fixed_iterations: Optional[int] = None,
+) -> CGResult:
+    """Solve ``A x = b`` with (preconditioned) CG.
+
+    Parameters
+    ----------
+    matrix:
+        Symmetric positive (semi-)definite matrix or matvec callable.
+    preconditioner:
+        Callable approximating ``A^+``; must be symmetric positive definite
+        on the relevant subspace.
+    project_nullspace:
+        For connected-graph Laplacians: keep iterates orthogonal to the
+        all-ones vector.
+    fixed_iterations:
+        When given, run exactly this many iterations (no tolerance test) —
+        this is how the recursive solver uses CG as a smoother at inner
+        levels.
+    """
+    apply_a = as_operator(matrix)
+    b = np.asarray(b, dtype=float).copy()
+    n = b.shape[0]
+
+    def project(v: np.ndarray) -> np.ndarray:
+        if project_nullspace:
+            return v - v.mean()
+        return v
+
+    b = project(b)
+    x = np.zeros(n) if x0 is None else project(np.asarray(x0, dtype=float).copy())
+    r = b - apply_a(x)
+    r = project(r)
+    apply_m = preconditioner if preconditioner is not None else (lambda v: v)
+    z = project(apply_m(r))
+    p = z.copy()
+    rz = float(r @ z)
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        return CGResult(x=np.zeros(n), iterations=0, converged=True, residual_norms=[0.0])
+
+    residuals = [float(np.linalg.norm(r)) / b_norm]
+    max_iters = fixed_iterations if fixed_iterations is not None else max_iterations
+    converged = residuals[-1] <= tol and fixed_iterations is None
+    iterations = 0
+    for _ in range(max_iters):
+        if converged and fixed_iterations is None:
+            break
+        ap = apply_a(p)
+        pap = float(p @ ap)
+        if pap <= 0:
+            # Numerical breakdown (can happen on the null space component).
+            break
+        alpha = rz / pap
+        x = x + alpha * p
+        r = r - alpha * ap
+        r = project(r)
+        iterations += 1
+        residuals.append(float(np.linalg.norm(r)) / b_norm)
+        if fixed_iterations is None and residuals[-1] <= tol:
+            converged = True
+            break
+        z = project(apply_m(r))
+        rz_new = float(r @ z)
+        beta = rz_new / rz if rz != 0 else 0.0
+        rz = rz_new
+        p = z + beta * p
+    if fixed_iterations is not None:
+        converged = residuals[-1] <= tol
+    return CGResult(x=project(x), iterations=iterations, converged=converged, residual_norms=residuals)

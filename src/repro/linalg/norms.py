@@ -1,0 +1,42 @@
+"""Matrix norms used in the paper's error statements.
+
+Theorem 1.1 bounds the error in the ``A``-norm:
+``||x_tilde - A^+ b||_A <= eps * ||A^+ b||_A`` where
+``||x||_A = sqrt(x^T A x)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def a_norm(matrix, x: np.ndarray) -> float:
+    """The A-norm ``sqrt(x^T A x)`` (A symmetric positive semi-definite)."""
+    x = np.asarray(x, dtype=float)
+    value = float(x @ (matrix @ x))
+    # Guard tiny negative values caused by round-off.
+    return float(np.sqrt(max(value, 0.0)))
+
+
+def a_norm_error(matrix, x: np.ndarray, x_exact: np.ndarray) -> float:
+    """``||x - x_exact||_A``."""
+    return a_norm(matrix, np.asarray(x, dtype=float) - np.asarray(x_exact, dtype=float))
+
+
+def relative_a_norm_error(matrix, x: np.ndarray, x_exact: np.ndarray) -> float:
+    """``||x - x_exact||_A / ||x_exact||_A`` (the quantity Theorem 1.1 bounds)."""
+    denom = a_norm(matrix, x_exact)
+    if denom == 0.0:
+        return 0.0 if a_norm_error(matrix, x, x_exact) == 0.0 else np.inf
+    return a_norm_error(matrix, x, x_exact) / denom
+
+
+def residual_norm(matrix, x: np.ndarray, b: np.ndarray, relative: bool = True) -> float:
+    """Euclidean residual ``||b - A x||`` (relative to ``||b||`` by default)."""
+    r = np.asarray(b, dtype=float) - matrix @ np.asarray(x, dtype=float)
+    norm = float(np.linalg.norm(r))
+    if relative:
+        denom = float(np.linalg.norm(b))
+        return norm / denom if denom > 0 else norm
+    return norm

@@ -1,0 +1,61 @@
+"""Operator wrappers.
+
+``MatvecCounter`` wraps a sparse matrix (or callable) and counts
+matrix-vector products; benchmarks use the count (weighted by nnz) as the
+machine-independent work measure for iterative solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+MatrixLike = Union[np.ndarray, sp.spmatrix, Callable[[np.ndarray], np.ndarray]]
+
+
+class MatvecCounter:
+    """Wrap a matrix or matvec callable, counting applications.
+
+    Attributes
+    ----------
+    count:
+        Number of matrix-vector products performed.
+    nnz:
+        Number of non-zeros of the wrapped matrix (0 for callables without a
+        known sparsity), used to convert counts into work estimates.
+    """
+
+    def __init__(self, matrix: MatrixLike):
+        self._matrix = matrix
+        self.count = 0
+        if callable(matrix) and not sp.issparse(matrix) and not isinstance(matrix, np.ndarray):
+            self.nnz = 0
+        elif sp.issparse(matrix):
+            self.nnz = int(matrix.nnz)
+        else:
+            self.nnz = int(np.count_nonzero(matrix))
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        self.count += 1
+        if callable(self._matrix) and not sp.issparse(self._matrix) and not isinstance(
+            self._matrix, np.ndarray
+        ):
+            return self._matrix(x)
+        return self._matrix @ x
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self(x)
+
+    @property
+    def work(self) -> float:
+        """Estimated work: matvec count times nnz."""
+        return float(self.count * max(self.nnz, 1))
+
+
+def as_operator(matrix: MatrixLike) -> Callable[[np.ndarray], np.ndarray]:
+    """Return a plain matvec callable for a matrix / callable."""
+    if callable(matrix) and not sp.issparse(matrix) and not isinstance(matrix, np.ndarray):
+        return matrix
+    return lambda x: matrix @ x

@@ -1,0 +1,31 @@
+"""Work-depth (PRAM) cost model.
+
+The paper analyzes all algorithms in the PRAM model in terms of *work* (total
+operation count) and *depth* (longest chain of dependencies).  This package
+provides a light-weight accounting layer: parallel algorithms in
+:mod:`repro.core` charge their operations to a :class:`CostModel`, which the
+benchmark harness then reads to reproduce the paper's work/depth scaling
+claims without needing actual parallel hardware.
+"""
+
+from repro.pram.model import CostModel, ParallelSection, null_cost
+from repro.pram.primitives import (
+    charge_filter,
+    charge_map,
+    charge_pack,
+    charge_reduce,
+    charge_scan,
+    charge_sort,
+)
+
+__all__ = [
+    "CostModel",
+    "ParallelSection",
+    "null_cost",
+    "charge_map",
+    "charge_reduce",
+    "charge_scan",
+    "charge_filter",
+    "charge_pack",
+    "charge_sort",
+]

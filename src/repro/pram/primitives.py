@@ -1,0 +1,70 @@
+"""Cost accounting for the standard parallel primitives.
+
+The paper's algorithms are built from a handful of classic work-efficient
+PRAM primitives (map, reduce, scan/prefix-sum, filter/pack, integer sort).
+These helpers charge the textbook work/depth of each primitive to a
+:class:`~repro.pram.model.CostModel`.  The actual data movement is done with
+NumPy (which is the "simulate the parallel machine with vectorized
+sequential code" substitution documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.pram.model import CostModel, log2ceil
+
+
+def charge_map(cost: CostModel, n: int, per_item_work: float = 1.0) -> None:
+    """A parallel map over ``n`` items: O(n) work, O(1) depth."""
+    if n <= 0:
+        return
+    cost.charge(work=n * per_item_work, depth=1.0)
+
+
+def charge_reduce(cost: CostModel, n: int) -> None:
+    """A parallel reduction over ``n`` items: O(n) work, O(log n) depth."""
+    if n <= 0:
+        return
+    cost.charge(work=float(n), depth=log2ceil(n))
+
+
+def charge_scan(cost: CostModel, n: int) -> None:
+    """A parallel prefix sum over ``n`` items: O(n) work, O(log n) depth."""
+    if n <= 0:
+        return
+    cost.charge(work=2.0 * n, depth=2.0 * log2ceil(n))
+
+
+def charge_filter(cost: CostModel, n: int) -> None:
+    """A parallel filter (map + scan + scatter): O(n) work, O(log n) depth."""
+    if n <= 0:
+        return
+    cost.charge(work=3.0 * n, depth=2.0 * log2ceil(n) + 1.0)
+
+
+def charge_pack(cost: CostModel, n: int) -> None:
+    """Alias of :func:`charge_filter` (compaction of marked items)."""
+    charge_filter(cost, n)
+
+
+def charge_sort(cost: CostModel, n: int) -> None:
+    """A work-efficient parallel sort: O(n log n) work, O(log^2 n) depth.
+
+    The algorithms in the paper only need semisorting / integer sorting of
+    keys bounded by n, for which O(n) work randomized algorithms exist; we
+    charge the more conservative comparison-sort cost.
+    """
+    if n <= 1:
+        return
+    logn = log2ceil(n)
+    cost.charge(work=n * logn, depth=logn * logn)
+
+
+def charge_bfs_round(cost: CostModel, frontier_edges: int, n: int) -> None:
+    """One level-synchronous BFS round touching ``frontier_edges`` edges.
+
+    Matches the parallel ball-growing cost quoted in Section 2 of the paper:
+    O(log n) depth per level and work proportional to the edges scanned.
+    """
+    cost.charge_round(work=float(max(frontier_edges, 1)), depth=log2ceil(n))

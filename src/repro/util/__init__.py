@@ -1,0 +1,18 @@
+"""Shared utilities: RNG handling, validation helpers, result records."""
+
+from repro.util.rng import as_rng, spawn_rngs
+from repro.util.validation import (
+    check_positive,
+    check_probability,
+    check_square,
+    check_vector,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_probability",
+    "check_square",
+    "check_vector",
+]

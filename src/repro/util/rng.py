@@ -1,0 +1,55 @@
+"""Random-number-generator plumbing.
+
+Every randomized routine in :mod:`repro` accepts either a seed (``int``), an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy).  This
+module centralizes the conversion so that all algorithms are reproducible
+given a seed and so that nested algorithms can derive independent child
+streams deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` seed, an existing ``Generator``
+        (returned unchanged), or a ``SeedSequence``.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, n: int) -> Sequence[np.random.Generator]:
+    """Derive ``n`` independent generators from ``seed``.
+
+    Used by algorithms that conceptually run many parallel sub-tasks (e.g.
+    ball growing from many centers) so that the result does not depend on the
+    order in which the sub-tasks are simulated.
+    """
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's bit stream deterministically.
+        children = seed.spawn(n) if hasattr(seed, "spawn") else None
+        if children is not None:
+            return children
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in ss.spawn(n)]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh integer seed from ``rng`` (for handing to sub-routines)."""
+    return int(rng.integers(0, 2**63 - 1))

@@ -1,0 +1,43 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is (strictly) positive and return it."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_square(name: str, matrix) -> None:
+    """Validate that ``matrix`` is 2-D and square."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"{name} must be a square matrix, got shape {matrix.shape}")
+
+
+def check_vector(name: str, vector: np.ndarray, n: int) -> np.ndarray:
+    """Validate that ``vector`` is a 1-D float array of length ``n``."""
+    vector = np.asarray(vector, dtype=float)
+    if vector.ndim != 1 or vector.shape[0] != n:
+        raise ValueError(f"{name} must be a vector of length {n}, got shape {vector.shape}")
+    return vector
+
+
+def check_symmetric(name: str, matrix: sp.spmatrix, tol: float = 1e-10) -> None:
+    """Validate that a sparse matrix is numerically symmetric."""
+    diff = matrix - matrix.T
+    if diff.nnz and np.max(np.abs(diff.data)) > tol:
+        raise ValueError(f"{name} must be symmetric (max asymmetry {np.max(np.abs(diff.data))})")

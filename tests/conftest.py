@@ -1,0 +1,32 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+@pytest.fixture(scope="session")
+def grid_graph() -> Graph:
+    """A modest 2-D grid used by many tests."""
+    return generators.grid_2d(12, 12)
+
+
+@pytest.fixture(scope="session")
+def weighted_grid_graph() -> Graph:
+    """A weighted 2-D grid with a wide weight spread (many AKPW classes)."""
+    return generators.weighted_grid_2d(12, 12, seed=7, spread=1e4)
+
+
+@pytest.fixture(scope="session")
+def random_graph() -> Graph:
+    """A connected Erdős–Rényi graph."""
+    return generators.erdos_renyi_gnm(200, 700, seed=3)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,148 @@
+"""Tests for the applications built on the solver and decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.maxflow import approx_max_flow, exact_max_flow
+from repro.apps.spanner import approximate_distances, decomposition_spanner
+from repro.apps.sparsification import (
+    effective_resistances,
+    quadratic_form_distortion,
+    spectral_sparsify,
+)
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.laplacian import graph_to_laplacian
+from repro.graph.shortest_paths import dijkstra_distances
+
+
+class TestEffectiveResistances:
+    def test_exact_resistance_of_path(self):
+        g = generators.path_graph(4)
+        r = effective_resistances(g, exact=True)
+        assert np.allclose(r, 1.0)
+
+    def test_exact_resistance_of_parallel_paths(self):
+        # cycle of length 4: each edge sees 1 ohm in series with 3 ohms in parallel
+        g = generators.cycle_graph(4)
+        r = effective_resistances(g, exact=True)
+        assert np.allclose(r, 0.75)
+
+    def test_solver_based_estimates_close_to_exact(self):
+        g = generators.erdos_renyi_gnm(60, 200, seed=0)
+        exact = effective_resistances(g, exact=True)
+        approx = effective_resistances(g, jl_dimension=120, seed=1, solver_tol=1e-8)
+        rel = np.abs(approx - exact) / exact
+        assert np.median(rel) <= 0.35
+
+    def test_sum_of_leverage_scores_is_n_minus_one(self):
+        g = generators.erdos_renyi_gnm(40, 150, seed=1)
+        r = effective_resistances(g, exact=True)
+        assert float(np.sum(g.w * r)) == pytest.approx(g.n - 1, rel=1e-6)
+
+
+class TestSpectralSparsifier:
+    def test_sparsifier_preserves_quadratic_forms(self):
+        g = generators.erdos_renyi_gnm(80, 800, seed=2)
+        res = spectral_sparsify(g, epsilon=0.5, seed=0, exact_resistances=True)
+        distortion = quadratic_form_distortion(g, res.graph, seed=3)
+        assert distortion <= 0.5
+
+    def test_sparsifier_reduces_edges_on_dense_graph(self):
+        g = generators.complete_graph(60)
+        res = spectral_sparsify(g, epsilon=0.5, seed=0, exact_resistances=True,
+                                num_samples=8 * g.n)
+        assert res.graph.num_edges < g.num_edges
+
+    def test_total_weight_roughly_preserved(self):
+        g = generators.erdos_renyi_gnm(60, 500, seed=4)
+        res = spectral_sparsify(g, epsilon=0.5, seed=1, exact_resistances=True)
+        assert res.graph.total_weight == pytest.approx(g.total_weight, rel=0.5)
+
+    def test_empty_graph(self):
+        g = Graph(4, [], [], [])
+        res = spectral_sparsify(g, seed=0)
+        assert res.graph.num_edges == 0
+
+
+class TestMaxFlow:
+    def test_exact_on_path(self):
+        g = Graph(3, [0, 1], [1, 2], [2.0, 5.0])
+        res = exact_max_flow(g, 0, 2)
+        assert res.value == pytest.approx(2.0)
+
+    def test_exact_on_parallel_paths(self):
+        # two disjoint s-t paths with capacities 1 and 2
+        g = Graph(4, [0, 1, 0, 2], [1, 3, 2, 3], [1.0, 1.0, 2.0, 2.0])
+        res = exact_max_flow(g, 0, 3)
+        assert res.value == pytest.approx(3.0)
+
+    def test_exact_flow_conservation(self):
+        g = generators.grid_2d(5, 5)
+        res = exact_max_flow(g, 0, 24)
+        net = np.zeros(g.n)
+        np.add.at(net, g.u, -res.flow)
+        np.add.at(net, g.v, res.flow)
+        interior = np.setdiff1d(np.arange(g.n), [0, 24])
+        assert np.allclose(net[interior], 0.0, atol=1e-9)
+        assert net[24] == pytest.approx(res.value)
+
+    def test_exact_respects_capacities(self):
+        g = generators.weighted_grid_2d(5, 5, seed=0, spread=5)
+        res = exact_max_flow(g, 0, 24)
+        assert res.congestion <= 1.0 + 1e-9
+
+    def test_exact_rejects_same_source_sink(self):
+        g = generators.path_graph(3)
+        with pytest.raises(ValueError):
+            exact_max_flow(g, 1, 1)
+
+    def test_approx_close_to_exact_on_grid(self):
+        g = generators.grid_2d(6, 6)
+        exact = exact_max_flow(g, 0, g.n - 1)
+        approx = approx_max_flow(g, 0, g.n - 1, epsilon=0.3, seed=0)
+        assert approx.value >= (1 - 0.45) * exact.value
+        assert approx.value <= exact.value * (1 + 0.45)
+        assert approx.congestion <= 1.0 + 0.3 + 1e-6
+
+    def test_approx_certifies_given_value(self):
+        g = generators.grid_2d(5, 5)
+        exact = exact_max_flow(g, 0, 24)
+        res = approx_max_flow(g, 0, 24, epsilon=0.3, seed=1, flow_value=0.5 * exact.value)
+        assert res.stats["feasible"] == 1.0
+
+    def test_approx_empty_graph(self):
+        g = Graph(2, [], [], [])
+        res = approx_max_flow(g, 0, 1, seed=0)
+        assert res.value == 0.0
+
+
+class TestSpanner:
+    def test_spanner_spans(self, grid_graph):
+        sp = decomposition_spanner(grid_graph, rho=4, seed=0)
+        dist = approximate_distances(grid_graph, sp, np.array([0]))[0]
+        assert np.all(np.isfinite(dist))
+
+    def test_spanner_sparser_than_graph(self):
+        g = generators.erdos_renyi_gnm(300, 2000, seed=1)
+        sp = decomposition_spanner(g, rho=4, seed=0)
+        assert sp.num_edges < g.num_edges
+
+    def test_spanner_distance_distortion_bounded(self, grid_graph):
+        sp = decomposition_spanner(grid_graph, rho=4, seed=0)
+        d_orig = dijkstra_distances(grid_graph, 0)[0]
+        d_span = approximate_distances(grid_graph, sp, np.array([0]))[0]
+        ratio = d_span[1:] / d_orig[1:]
+        assert np.max(ratio) <= 16.0  # O(rho)-ish per level
+
+    def test_spanner_contains_forest(self, grid_graph):
+        from repro.graph.mst import is_spanning_forest
+        from repro.graph.union_find import UnionFind
+
+        sp = decomposition_spanner(grid_graph, rho=4, seed=0)
+        uf = UnionFind(grid_graph.n)
+        for e in sp.edge_indices:
+            uf.union(int(grid_graph.u[e]), int(grid_graph.v[e]))
+        assert uf.num_sets == 1

@@ -1,0 +1,128 @@
+"""Tests for delayed multi-source ball growing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ball_growing import grow_balls
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.shortest_paths import bfs_distances
+from repro.pram.model import CostModel
+
+
+class TestBasicGrowth:
+    def test_single_center_covers_ball(self):
+        g = generators.path_graph(10)
+        res = grow_balls(g, centers=np.array([0]), delays=np.array([0]), radius=3)
+        assert np.all(res.owner[:4] == 0)
+        assert np.all(res.owner[4:] == -1)
+        assert res.arrival[:4].tolist() == [0, 1, 2, 3]
+
+    def test_delay_shrinks_ball(self):
+        g = generators.path_graph(10)
+        res = grow_balls(g, centers=np.array([0]), delays=np.array([2]), radius=3)
+        # effective radius = 3 - 2 = 1
+        assert np.all(res.owner[:2] == 0)
+        assert np.all(res.owner[2:] == -1)
+
+    def test_all_vertices_covered_with_enough_radius(self, grid_graph):
+        res = grow_balls(grid_graph, np.array([0]), np.array([0]), radius=50)
+        assert np.all(res.owner == 0)
+
+    def test_assignment_minimizes_delayed_distance(self):
+        g = generators.path_graph(9)
+        centers = np.array([0, 8])
+        delays = np.array([0, 2])
+        res = grow_balls(g, centers, delays, radius=10)
+        dist0 = bfs_distances(g, 0)
+        dist8 = bfs_distances(g, 8)
+        for v in range(9):
+            key0 = dist0[v] + 0
+            key8 = dist8[v] + 2
+            expected = 0 if (key0 < key8 or (key0 == key8 and 0 < 8)) else 8
+            assert res.owner[v] == expected
+
+    def test_tie_break_prefers_smaller_center(self):
+        g = generators.path_graph(5)
+        res = grow_balls(g, centers=np.array([0, 4]), delays=np.array([0, 0]), radius=5)
+        # vertex 2 is equidistant; smaller center id wins
+        assert res.owner[2] == 0
+
+    def test_parent_chain_stays_in_component(self, grid_graph):
+        rng = np.random.default_rng(0)
+        centers = rng.choice(grid_graph.n, size=6, replace=False)
+        delays = rng.integers(0, 3, size=6)
+        res = grow_balls(grid_graph, centers, delays, radius=8)
+        for v in range(grid_graph.n):
+            if res.owner[v] < 0 or res.parent[v] < 0:
+                continue
+            assert res.owner[res.parent[v]] == res.owner[v]
+            assert res.arrival[res.parent[v]] == res.arrival[v] - 1
+
+    def test_claimed_center_produces_empty_component(self):
+        g = generators.path_graph(3)
+        # center 1 is claimed by center 0 (delay 0) before its own delay 2 expires
+        res = grow_balls(g, centers=np.array([0, 1]), delays=np.array([0, 2]), radius=4)
+        assert res.owner[1] == 0
+        assert not np.any(res.owner == 1)
+
+    def test_alive_mask_restricts_growth(self):
+        g = generators.path_graph(7)
+        alive = np.ones(7, dtype=bool)
+        alive[3] = False  # break the path
+        res = grow_balls(g, np.array([0]), np.array([0]), radius=10, alive=alive)
+        assert np.all(res.owner[:3] == 0)
+        assert np.all(res.owner[3:] == -1)
+
+    def test_center_must_be_alive(self):
+        g = generators.path_graph(4)
+        alive = np.ones(4, dtype=bool)
+        alive[0] = False
+        with pytest.raises(ValueError):
+            grow_balls(g, np.array([0]), np.array([0]), radius=2, alive=alive)
+
+
+class TestValidation:
+    def test_mismatched_shapes(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            grow_balls(g, np.array([0, 1]), np.array([0]), radius=2)
+
+    def test_negative_delay(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            grow_balls(g, np.array([0]), np.array([-1]), radius=2)
+
+    def test_negative_radius(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            grow_balls(g, np.array([0]), np.array([0]), radius=-1)
+
+    def test_empty_centers(self):
+        g = generators.path_graph(4)
+        res = grow_balls(g, np.array([], dtype=int), np.array([], dtype=int), radius=2)
+        assert np.all(res.owner == -1)
+
+    def test_radius_zero_claims_only_centers(self):
+        g = generators.path_graph(5)
+        res = grow_balls(g, np.array([2]), np.array([0]), radius=0)
+        assert res.owner[2] == 2
+        assert np.count_nonzero(res.owner >= 0) == 1
+
+
+class TestCostAccounting:
+    def test_rounds_bounded_by_radius(self, grid_graph):
+        cost = CostModel()
+        res = grow_balls(grid_graph, np.array([0]), np.array([0]), radius=5, cost=cost)
+        assert res.rounds <= 6
+        assert cost.work > 0
+
+    def test_work_scales_with_coverage(self):
+        g = generators.grid_2d(20, 20)
+        c_small = CostModel()
+        grow_balls(g, np.array([0]), np.array([0]), radius=2, cost=c_small)
+        c_big = CostModel()
+        grow_balls(g, np.array([0]), np.array([0]), radius=30, cost=c_big)
+        assert c_big.work > c_small.work

@@ -1,0 +1,194 @@
+"""Tests for the parallel low-diameter decomposition (Theorem 4.1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import (
+    cut_edge_mask,
+    cut_fraction_per_class,
+    decomposition_radii,
+    partition,
+    split_graph,
+)
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.mst import is_spanning_forest
+from repro.pram.model import CostModel
+
+
+class TestSplitGraphGuarantees:
+    """Properties (P1) and (P2) hold deterministically; check them directly."""
+
+    @pytest.mark.parametrize("rho", [2, 4, 8, 16])
+    def test_strong_radius_bounded(self, grid_graph, rho):
+        decomp = split_graph(grid_graph, rho=rho, seed=0)
+        radii = decomposition_radii(grid_graph, decomp)
+        assert radii.max(initial=0) <= rho
+
+    def test_every_vertex_covered(self, grid_graph):
+        decomp = split_graph(grid_graph, rho=4, seed=1)
+        assert np.all(decomp.labels >= 0)
+        assert decomp.labels.max() == decomp.num_components - 1
+
+    def test_centers_in_own_component(self, grid_graph):
+        decomp = split_graph(grid_graph, rho=6, seed=2)
+        for idx, center in enumerate(decomp.centers):
+            assert decomp.labels[center] == idx
+
+    def test_components_internally_connected(self, random_graph):
+        decomp = split_graph(random_graph, rho=4, seed=3)
+        # decomposition_radii BFS-checks internal connectivity and raises if
+        # a component is not connected.
+        decomposition_radii(random_graph, decomp)
+
+    def test_tree_edges_form_spanning_forest_of_components(self, grid_graph):
+        from repro.graph.union_find import UnionFind
+
+        decomp = split_graph(grid_graph, rho=6, seed=4)
+        tree = decomp.tree_edges()
+        assert len(tree) == grid_graph.n - decomp.num_components
+        # acyclic, and connects exactly the vertices of each component
+        uf = UnionFind(grid_graph.n)
+        for e in tree:
+            assert uf.union(int(grid_graph.u[e]), int(grid_graph.v[e]))  # no cycles
+        assert uf.num_sets == decomp.num_components
+        # tree edges never cross components
+        assert not np.any(cut_edge_mask(grid_graph, decomp.labels)[tree])
+
+    def test_component_sizes_sum_to_n(self, grid_graph):
+        decomp = split_graph(grid_graph, rho=8, seed=5)
+        assert decomp.component_sizes().sum() == grid_graph.n
+
+    def test_deterministic_given_seed(self, grid_graph):
+        d1 = split_graph(grid_graph, rho=6, seed=42)
+        d2 = split_graph(grid_graph, rho=6, seed=42)
+        assert np.array_equal(d1.labels, d2.labels)
+        assert np.array_equal(d1.centers, d2.centers)
+
+    def test_jitter_range_validation(self, grid_graph):
+        with pytest.raises(ValueError):
+            split_graph(grid_graph, rho=4, jitter_range=10)
+
+    def test_rho_validation(self, grid_graph):
+        with pytest.raises(ValueError):
+            split_graph(grid_graph, rho=0)
+
+    def test_empty_graph(self):
+        g = Graph(0, [], [], [])
+        decomp = split_graph(g, rho=3)
+        assert decomp.num_components == 0
+
+    def test_singleton_graph(self):
+        g = Graph(1, [], [], [])
+        decomp = split_graph(g, rho=3, seed=0)
+        assert decomp.num_components == 1
+        assert decomp.labels[0] == 0
+
+    def test_disconnected_graph_covered(self):
+        g = Graph(6, [0, 1, 3, 4], [1, 2, 4, 5])
+        decomp = split_graph(g, rho=3, seed=0)
+        assert np.all(decomp.labels >= 0)
+
+
+class TestCutFraction:
+    """Property (P3): few edges are cut, decaying with rho."""
+
+    def test_cut_fraction_decays_with_rho(self):
+        g = generators.grid_2d(30, 30)
+        fractions = []
+        for rho in (4, 16, 64):
+            d = split_graph(g, rho=rho, seed=7, jitter_range=max(1, rho // 2), sample_coefficient=1.0)
+            fractions.append(cut_edge_mask(g, d.labels).mean())
+        assert fractions[2] < fractions[0]
+
+    def test_cut_fraction_within_paper_bound(self, grid_graph):
+        # With the paper's constant the bound is extremely generous; it must
+        # hold for every run.
+        rho = 8
+        d = split_graph(grid_graph, rho=rho, seed=8)
+        n = grid_graph.n
+        bound = 136.0 * (math.log2(n) ** 3) / rho
+        assert cut_edge_mask(grid_graph, d.labels).mean() <= bound
+
+    def test_cut_fraction_per_class_keys(self, grid_graph):
+        d = split_graph(grid_graph, rho=6, seed=9)
+        classes = np.arange(grid_graph.num_edges) % 3
+        fractions = cut_fraction_per_class(grid_graph, d.labels, classes)
+        assert set(fractions.keys()) == {0, 1, 2}
+        assert all(0.0 <= f <= 1.0 for f in fractions.values())
+
+
+class TestPartition:
+    def test_partition_respects_radius(self, grid_graph):
+        p = partition(grid_graph, rho=6, seed=0, c1=1.0)
+        assert decomposition_radii(grid_graph, p).max() <= 6
+
+    def test_partition_validates_per_class_bound(self):
+        g = generators.grid_2d(20, 20)
+        classes = np.arange(g.num_edges) % 3
+        rho = 16
+        p = partition(g, rho=rho, edge_classes=classes, seed=1, c1=1.0,
+                      jitter_range=rho // 2, sample_coefficient=1.0)
+        bound = p.stats["cut_bound"]
+        fractions = cut_fraction_per_class(g, p.labels, classes)
+        assert max(fractions.values()) <= bound
+        assert "retries" in p.stats
+
+    def test_partition_without_validation(self, grid_graph):
+        p = partition(grid_graph, rho=4, seed=2, validate=False)
+        assert np.all(p.labels >= 0)
+
+    def test_partition_edge_classes_length_checked(self, grid_graph):
+        with pytest.raises(ValueError):
+            partition(grid_graph, rho=4, edge_classes=np.zeros(3, dtype=int))
+
+    def test_partition_single_class_default(self, random_graph):
+        p = partition(random_graph, rho=4, seed=3, c1=1.0)
+        assert p.num_components >= 1
+
+
+class TestCostAccounting:
+    def test_work_near_linear(self):
+        """Work should grow roughly linearly in m (within a log factor)."""
+        works = []
+        for size in (16, 32):
+            g = generators.grid_2d(size, size)
+            cost = CostModel()
+            split_graph(g, rho=8, seed=0, cost=cost)
+            works.append((g.num_edges, cost.work))
+        (m1, w1), (m2, w2) = works
+        ratio = (w2 / w1) / (m2 / m1)
+        assert ratio < 10.0  # near-linear: far from quadratic blow-up
+
+    def test_depth_bounded_by_rho_polylog(self):
+        """Depth stays within O(rho log^2 n) for both small and large rho."""
+        import math
+
+        g = generators.grid_2d(40, 40)
+        logn = math.ceil(math.log2(g.n))
+        for rho in (4, 32):
+            cost = CostModel()
+            split_graph(g, rho=rho, seed=0, cost=cost)
+            assert cost.depth <= 10.0 * rho * logn**2
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rows=st.integers(min_value=2, max_value=8),
+    cols=st.integers(min_value=2, max_value=8),
+    rho=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_property_radius_and_coverage(rows, cols, rho, seed):
+    g = generators.grid_2d(rows, cols)
+    decomp = split_graph(g, rho=rho, seed=seed)
+    assert np.all(decomp.labels >= 0)
+    assert decomposition_radii(g, decomp).max(initial=0) <= rho
+    for idx, center in enumerate(decomp.centers):
+        assert decomp.labels[center] == idx

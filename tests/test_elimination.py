@@ -1,0 +1,143 @@
+"""Tests for parallel greedy elimination (Lemma 6.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.elimination import greedy_elimination
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.laplacian import graph_to_laplacian
+from repro.linalg.direct import solve_laplacian_direct
+from repro.pram.model import CostModel
+
+
+def _check_elimination_solve(graph: Graph, seed: int = 0) -> None:
+    """Eliminate, solve the reduced system exactly, extend back, compare."""
+    lap = graph_to_laplacian(graph)
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(graph.n)
+    b -= b.mean()
+    elim = greedy_elimination(graph, seed=seed)
+    reduced_lap = graph_to_laplacian(elim.reduced_graph)
+    b_reduced = elim.forward_rhs(b)
+    x_reduced = np.linalg.pinv(reduced_lap.toarray(), hermitian=True) @ b_reduced
+    x = elim.backward_solution(b, x_reduced)
+    x_exact = solve_laplacian_direct(lap, b)
+    assert np.allclose(x - x.mean(), x_exact, atol=1e-8)
+
+
+class TestCorrectness:
+    def test_path_graph_eliminates_to_tiny(self):
+        g = generators.path_graph(50)
+        elim = greedy_elimination(g, seed=0)
+        assert elim.reduced_graph.n <= 3
+        _check_elimination_solve(g)
+
+    def test_tree_eliminates_almost_everything(self):
+        g = generators.star_graph(30)
+        elim = greedy_elimination(g, seed=0)
+        assert elim.reduced_graph.n <= 2
+        _check_elimination_solve(g)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_solve_transfer_on_weighted_grid(self, seed):
+        g = generators.weighted_grid_2d(8, 8, seed=seed, spread=100)
+        _check_elimination_solve(g, seed=seed)
+
+    def test_solve_transfer_on_sparse_random_graph(self):
+        # tree plus a few extra edges: lots of degree-1/2 structure
+        g = generators.erdos_renyi_gnm(120, 130, seed=5)
+        _check_elimination_solve(g, seed=5)
+
+    def test_solve_transfer_sequential_mode(self):
+        g = generators.erdos_renyi_gnm(80, 90, seed=7)
+        lap = graph_to_laplacian(g)
+        b = np.random.default_rng(0).standard_normal(g.n)
+        b -= b.mean()
+        elim = greedy_elimination(g, seed=0, parallel_degree2=False)
+        reduced_lap = graph_to_laplacian(elim.reduced_graph)
+        x_red = np.linalg.pinv(reduced_lap.toarray(), hermitian=True) @ elim.forward_rhs(b)
+        x = elim.backward_solution(b, x_red)
+        assert np.allclose(x - x.mean(), solve_laplacian_direct(lap, b), atol=1e-8)
+
+    def test_cycle_reduces_to_small_multigraph(self):
+        g = generators.cycle_graph(40)
+        elim = greedy_elimination(g, seed=1)
+        assert elim.reduced_graph.n <= 4
+        _check_elimination_solve(g, seed=1)
+
+    def test_parallel_edges_handled(self):
+        # degree-2 vertex whose both edges go to the same neighbor
+        g = Graph(3, [0, 1, 1], [1, 2, 2], [1.0, 2.0, 3.0])
+        elim = greedy_elimination(g, seed=0)
+        assert elim.reduced_graph.n >= 1
+        _check_elimination_solve(g)
+
+
+class TestReductionGuarantee:
+    def test_lemma_6_5_vertex_bound(self):
+        """The reduced graph has at most ~2*(extra edges) vertices."""
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            n = 200
+            extra = 20
+            # random spanning tree plus `extra` random edges
+            perm = rng.permutation(n)
+            tree_u = [int(perm[rng.integers(0, i)]) for i in range(1, n)]
+            tree_v = [int(perm[i]) for i in range(1, n)]
+            eu, ev = [], []
+            while len(eu) < extra:
+                a, b = rng.integers(0, n, 2)
+                if a != b:
+                    eu.append(int(a))
+                    ev.append(int(b))
+            g = Graph(n, tree_u + eu, tree_v + ev)
+            elim = greedy_elimination(g, seed=trial)
+            assert elim.reduced_graph.n <= max(2 * extra, 4)
+
+    def test_rounds_logarithmic(self):
+        g = generators.path_graph(512)
+        elim = greedy_elimination(g, seed=0)
+        assert elim.rounds <= 60  # O(log n) with constant ~ coin-flip waits
+
+    def test_grid_keeps_interior(self):
+        # interior grid vertices have degree >= 3, only the boundary shrinks
+        g = generators.grid_2d(10, 10)
+        elim = greedy_elimination(g, seed=0)
+        assert elim.reduced_graph.n >= 36  # 8x8 interior minimum
+
+    def test_min_vertices_respected(self):
+        g = generators.path_graph(30)
+        elim = greedy_elimination(g, seed=0, min_vertices=5)
+        assert elim.reduced_graph.n >= 5
+
+    def test_reduced_graph_is_laplacian_compatible(self):
+        g = generators.erdos_renyi_gnm(60, 80, seed=1)
+        elim = greedy_elimination(g, seed=1)
+        lap = graph_to_laplacian(elim.reduced_graph)
+        assert np.allclose(np.asarray(lap.sum(axis=1)).ravel(), 0.0)
+        assert np.all(elim.reduced_graph.w > 0)
+
+
+class TestBookkeeping:
+    def test_kept_plus_eliminated_is_n(self, random_graph):
+        elim = greedy_elimination(random_graph, seed=0)
+        assert len(elim.kept_vertices) + elim.num_eliminated == random_graph.n
+
+    def test_operations_reference_distinct_vertices(self, random_graph):
+        elim = greedy_elimination(random_graph, seed=0)
+        eliminated = [op[1] for op in elim.operations]
+        assert len(set(eliminated)) == len(eliminated)
+        assert not set(eliminated) & set(elim.kept_vertices.tolist())
+
+    def test_cost_charged(self, random_graph):
+        cost = CostModel()
+        greedy_elimination(random_graph, seed=0, cost=cost)
+        assert cost.work > 0
+
+    def test_deterministic(self, random_graph):
+        e1 = greedy_elimination(random_graph, seed=3)
+        e2 = greedy_elimination(random_graph, seed=3)
+        assert e1.operations == e2.operations

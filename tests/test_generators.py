@@ -1,0 +1,139 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.components import is_connected
+
+
+class TestStructured:
+    def test_path_graph(self):
+        g = generators.path_graph(6)
+        assert g.n == 6 and g.num_edges == 5
+        assert is_connected(g)
+
+    def test_path_rejects_zero(self):
+        with pytest.raises(ValueError):
+            generators.path_graph(0)
+
+    def test_cycle_graph(self):
+        g = generators.cycle_graph(5)
+        assert g.num_edges == 5
+        assert np.all(g.degrees() == 2)
+
+    def test_star_graph(self):
+        g = generators.star_graph(7)
+        assert g.degrees()[0] == 6
+        assert np.all(g.degrees()[1:] == 1)
+
+    def test_complete_graph(self):
+        g = generators.complete_graph(6)
+        assert g.num_edges == 15
+        assert np.all(g.degrees() == 5)
+
+    def test_grid_2d_counts(self):
+        g = generators.grid_2d(4, 5)
+        assert g.n == 20
+        assert g.num_edges == 4 * 4 + 3 * 5
+        assert is_connected(g)
+
+    def test_torus_regular(self):
+        g = generators.torus_2d(5, 5)
+        assert np.all(g.degrees() == 4)
+
+    def test_grid_3d_counts(self):
+        g = generators.grid_3d(3, 3, 3)
+        assert g.n == 27
+        assert g.num_edges == 3 * (2 * 3 * 3)
+        assert is_connected(g)
+
+    def test_grid_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            generators.grid_2d(0, 3)
+
+
+class TestRandom:
+    def test_erdos_renyi_connected(self):
+        g = generators.erdos_renyi_gnm(100, 300, seed=0)
+        assert g.n == 100 and g.num_edges == 300
+        assert is_connected(g)
+
+    def test_erdos_renyi_simple(self):
+        g = generators.erdos_renyi_gnm(50, 200, seed=1)
+        keys = set()
+        for a, b in zip(g.u, g.v):
+            key = (min(a, b), max(a, b))
+            assert key not in keys
+            keys.add(key)
+
+    def test_erdos_renyi_deterministic(self):
+        g1 = generators.erdos_renyi_gnm(40, 100, seed=5)
+        g2 = generators.erdos_renyi_gnm(40, 100, seed=5)
+        assert g1 == g2
+
+    def test_erdos_renyi_too_many_edges(self):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi_gnm(5, 100, seed=0)
+
+    def test_random_regular_degrees(self):
+        g = generators.random_regular_graph(60, 4, seed=0)
+        assert np.all(g.degrees() == 4)
+
+    def test_random_regular_large(self):
+        g = generators.random_regular_graph(500, 6, seed=3)
+        assert np.all(g.degrees() == 6)
+        # simple graph
+        keys = {(min(a, b), max(a, b)) for a, b in zip(g.u, g.v)}
+        assert len(keys) == g.num_edges
+
+    def test_random_regular_rejects_odd(self):
+        with pytest.raises(ValueError):
+            generators.random_regular_graph(5, 3, seed=0)
+
+    def test_preferential_attachment(self):
+        g = generators.preferential_attachment(50, 3, seed=0)
+        assert g.n == 50
+        assert is_connected(g)
+
+    def test_random_geometric_connected(self):
+        g = generators.random_geometric_graph(60, 0.2, seed=0)
+        assert is_connected(g)
+
+
+class TestWeighted:
+    def test_with_random_weights_spread(self):
+        g = generators.with_random_weights(generators.grid_2d(10, 10), seed=0, spread=1e3)
+        assert g.w.min() >= 1.0 - 1e-9
+        assert g.w.max() <= 1e3 + 1e-6
+
+    def test_weight_distributions(self):
+        base = generators.grid_2d(6, 6)
+        for dist in ("loguniform", "uniform", "exponential"):
+            g = generators.with_random_weights(base, seed=1, distribution=dist)
+            assert np.all(g.w > 0)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            generators.with_random_weights(generators.path_graph(5), distribution="bogus")
+
+    def test_weighted_sdd_system_is_sdd(self):
+        from repro.graph.laplacian import is_laplacian, is_sdd
+
+        mat, b = generators.weighted_sdd_system(30, 80, seed=2)
+        assert is_sdd(mat)
+        assert not is_laplacian(mat)
+        assert b.shape == (30,)
+
+    def test_standard_workloads(self):
+        loads = generators.standard_workloads("tiny", seed=0)
+        assert len(loads) >= 4
+        for name, g in loads:
+            assert isinstance(name, str)
+            assert g.num_edges > 0
+
+    def test_standard_workloads_bad_scale(self):
+        with pytest.raises(ValueError):
+            generators.standard_workloads("huge")

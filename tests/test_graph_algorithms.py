@@ -1,0 +1,244 @@
+"""Tests for components, shortest paths, MST, contraction, and union-find."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators
+from repro.graph.components import connected_components, is_connected, largest_component
+from repro.graph.contraction import contract_vertices
+from repro.graph.graph import Graph
+from repro.graph.mst import (
+    is_spanning_forest,
+    maximum_spanning_tree_edges,
+    minimum_spanning_tree_edges,
+)
+from repro.graph.shortest_paths import (
+    bfs_distances,
+    bfs_tree,
+    dijkstra_distances,
+    shortest_path_distances,
+)
+from repro.graph.union_find import UnionFind
+from repro.pram.model import CostModel
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert uf.num_sets == 5
+        assert not uf.connected(0, 1)
+
+    def test_union_and_find(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.union(0, 1)
+        assert uf.num_sets == 4
+
+    def test_labels_compact(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        labels = uf.labels()
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert len(set(labels.tolist())) == 4
+
+    def test_transitive(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+
+
+class TestComponents:
+    def test_connected_grid(self, grid_graph):
+        count, labels = connected_components(grid_graph)
+        assert count == 1
+        assert np.all(labels == 0)
+
+    def test_disconnected(self):
+        g = Graph(6, [0, 1, 3, 4], [1, 2, 4, 5])
+        count, labels = connected_components(g)
+        assert count == 2
+        assert labels[0] == labels[2]
+        assert labels[3] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_isolated_vertices(self):
+        g = Graph(4, [0], [1])
+        count, _ = connected_components(g)
+        assert count == 3
+
+    def test_is_connected_trivial(self):
+        assert is_connected(Graph(1, [], [], []))
+        assert is_connected(Graph(0, [], [], []))
+
+    def test_largest_component(self):
+        g = Graph(7, [0, 1, 2, 4], [1, 2, 3, 5])
+        comp = largest_component(g)
+        assert set(comp.tolist()) == {0, 1, 2, 3}
+
+    def test_cost_charged(self, grid_graph):
+        cost = CostModel()
+        connected_components(grid_graph, cost=cost)
+        assert cost.work > 0
+        assert cost.rounds > 0
+
+
+class TestBFS:
+    def test_bfs_distances_path(self):
+        g = generators.path_graph(6)
+        dist = bfs_distances(g, 0)
+        assert dist.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_bfs_multi_source(self):
+        g = generators.path_graph(7)
+        dist = bfs_distances(g, [0, 6])
+        assert dist.tolist() == [0, 1, 2, 3, 2, 1, 0]
+
+    def test_bfs_max_depth(self):
+        g = generators.path_graph(10)
+        dist = bfs_distances(g, 0, max_depth=3)
+        assert dist[3] == 3
+        assert dist[4] == -1
+
+    def test_bfs_unreachable(self):
+        g = Graph(4, [0], [1])
+        dist = bfs_distances(g, 0)
+        assert dist[2] == -1 and dist[3] == -1
+
+    def test_bfs_grid_diameter(self, grid_graph):
+        dist = bfs_distances(grid_graph, 0)
+        assert dist.max() == 22  # (12-1) + (12-1)
+
+    def test_bfs_tree_spans_component(self, grid_graph):
+        edges = bfs_tree(grid_graph, 0)
+        assert len(edges) == grid_graph.n - 1
+        assert is_spanning_forest(grid_graph, edges)
+
+    def test_bfs_tree_restricted(self, grid_graph):
+        allowed = np.arange(12)  # first row only
+        edges = bfs_tree(grid_graph, 0, allowed_vertices=allowed)
+        assert len(edges) == 11
+        # all edges stay inside the allowed set
+        assert np.all(np.isin(grid_graph.u[edges], allowed))
+        assert np.all(np.isin(grid_graph.v[edges], allowed))
+
+    def test_bfs_tree_bad_root(self, grid_graph):
+        with pytest.raises(ValueError):
+            bfs_tree(grid_graph, 20, allowed_vertices=np.arange(5))
+
+    def test_cost_depth_tracks_radius(self):
+        g = generators.path_graph(64)
+        cost = CostModel()
+        bfs_distances(g, 0, cost=cost)
+        assert cost.rounds >= 63
+
+
+class TestDijkstra:
+    def test_matches_bfs_on_unit_weights(self, grid_graph):
+        d1 = bfs_distances(grid_graph, 0).astype(float)
+        d2 = dijkstra_distances(grid_graph, 0)[0]
+        assert np.allclose(d1, d2)
+
+    def test_weighted_path(self):
+        g = Graph(3, [0, 1], [1, 2], [2.0, 3.0])
+        d = dijkstra_distances(g, 0)[0]
+        assert d.tolist() == [0.0, 2.0, 5.0]
+
+    def test_pair_distances(self):
+        g = generators.weighted_grid_2d(6, 6, seed=0)
+        pairs = [(0, 35), (3, 20), (35, 0)]
+        dist = shortest_path_distances(g, pairs)
+        full = dijkstra_distances(g, [0, 3, 35])
+        assert dist[0] == pytest.approx(full[0, 35])
+        assert dist[1] == pytest.approx(full[1, 20])
+        assert dist[2] == pytest.approx(full[2, 0])
+
+    def test_empty_pairs(self):
+        g = generators.path_graph(4)
+        assert shortest_path_distances(g, []).shape == (0,)
+
+
+class TestMST:
+    def test_mst_is_spanning_forest(self, random_graph):
+        edges = minimum_spanning_tree_edges(random_graph)
+        assert is_spanning_forest(random_graph, edges)
+        assert len(edges) == random_graph.n - 1
+
+    def test_mst_weight_matches_scipy(self, weighted_grid_graph):
+        import scipy.sparse.csgraph as csgraph
+
+        edges = minimum_spanning_tree_edges(weighted_grid_graph)
+        ours = weighted_grid_graph.w[edges].sum()
+        theirs = csgraph.minimum_spanning_tree(weighted_grid_graph.adjacency_matrix()).sum()
+        assert ours == pytest.approx(theirs)
+
+    def test_max_spanning_tree_heavier(self, weighted_grid_graph):
+        mn = weighted_grid_graph.w[minimum_spanning_tree_edges(weighted_grid_graph)].sum()
+        mx = weighted_grid_graph.w[maximum_spanning_tree_edges(weighted_grid_graph)].sum()
+        assert mx >= mn
+
+    def test_spanning_forest_detects_cycle(self):
+        g = generators.cycle_graph(4)
+        assert not is_spanning_forest(g, np.arange(4))
+
+    def test_empty_graph(self):
+        g = Graph(3, [], [], [])
+        assert minimum_spanning_tree_edges(g).size == 0
+
+
+class TestContraction:
+    def test_contract_to_single_vertex(self, grid_graph):
+        labels = np.zeros(grid_graph.n, dtype=int)
+        contracted, surviving, k = contract_vertices(grid_graph, labels)
+        assert k == 1
+        assert contracted.num_edges == 0
+        assert surviving.size == 0
+
+    def test_contract_identity(self, grid_graph):
+        labels = np.arange(grid_graph.n)
+        contracted, surviving, k = contract_vertices(grid_graph, labels)
+        assert k == grid_graph.n
+        assert contracted.num_edges == grid_graph.num_edges
+
+    def test_contract_pairs(self):
+        g = generators.path_graph(6)
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        contracted, surviving, k = contract_vertices(g, labels)
+        assert k == 3
+        assert contracted.num_edges == 2  # edges 1-2 and 3-4 survive
+        assert set(surviving.tolist()) == {1, 3}
+
+    def test_contract_keeps_parallel_edges(self):
+        g = generators.cycle_graph(4)
+        labels = np.array([0, 1, 0, 1])
+        contracted, surviving, k = contract_vertices(g, labels)
+        assert k == 2
+        assert contracted.num_edges == 4  # all cycle edges become parallel
+
+    def test_labels_length_checked(self, grid_graph):
+        with pytest.raises(ValueError):
+            contract_vertices(grid_graph, np.zeros(3, dtype=int))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=10**6))
+def test_mst_has_components_minus_vertices_edges(n, seed):
+    rng = np.random.default_rng(seed)
+    m = max(1, n // 2 * 3)
+    u = rng.integers(0, n, size=m)
+    v = rng.integers(0, n, size=m)
+    keep = u != v
+    if not np.any(keep):
+        return
+    g = Graph(n, u[keep], v[keep], rng.random(int(keep.sum())) + 0.1)
+    count, _ = connected_components(g)
+    edges = minimum_spanning_tree_edges(g)
+    assert len(edges) == n - count
+    assert is_spanning_forest(g, edges)

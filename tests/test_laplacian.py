@@ -1,0 +1,154 @@
+"""Tests for Laplacian construction and the Gremban SDD reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.laplacian import (
+    GrembanReduction,
+    graph_to_laplacian,
+    is_laplacian,
+    is_sdd,
+    laplacian_to_graph,
+    project_out_nullspace,
+    sdd_to_laplacian,
+)
+
+
+class TestGraphLaplacian:
+    def test_laplacian_row_sums_zero(self, random_graph):
+        lap = graph_to_laplacian(random_graph)
+        assert np.allclose(np.asarray(lap.sum(axis=1)).ravel(), 0.0)
+
+    def test_laplacian_diagonal_is_weighted_degree(self, weighted_grid_graph):
+        lap = graph_to_laplacian(weighted_grid_graph)
+        assert np.allclose(lap.diagonal(), weighted_grid_graph.degrees(weighted=True))
+
+    def test_laplacian_psd_small(self):
+        g = generators.weighted_grid_2d(5, 5, seed=0)
+        lap = graph_to_laplacian(g).toarray()
+        eigs = np.linalg.eigvalsh(lap)
+        assert eigs.min() > -1e-9
+
+    def test_roundtrip_graph_laplacian_graph(self, weighted_grid_graph):
+        lap = graph_to_laplacian(weighted_grid_graph)
+        g2 = laplacian_to_graph(lap)
+        simple, _ = weighted_grid_graph.coalesce()
+        assert g2.num_edges == simple.num_edges
+        assert g2.total_weight == pytest.approx(simple.total_weight)
+
+    def test_laplacian_to_graph_rejects_positive_offdiag(self):
+        mat = sp.csr_matrix(np.array([[1.0, 0.5], [0.5, 1.0]]))
+        with pytest.raises(ValueError):
+            laplacian_to_graph(mat)
+
+    def test_empty_graph_laplacian(self):
+        g = Graph(3, [], [], [])
+        lap = graph_to_laplacian(g)
+        assert lap.shape == (3, 3)
+        assert lap.nnz == 0
+
+    def test_parallel_edges_summed(self):
+        g = Graph(2, [0, 0], [1, 1], [1.0, 2.0])
+        lap = graph_to_laplacian(g)
+        assert lap[0, 1] == pytest.approx(-3.0)
+
+
+class TestSDDChecks:
+    def test_laplacian_is_sdd_and_laplacian(self, grid_graph):
+        lap = graph_to_laplacian(grid_graph)
+        assert is_sdd(lap)
+        assert is_laplacian(lap)
+
+    def test_sdd_with_excess_is_not_laplacian(self, grid_graph):
+        lap = graph_to_laplacian(grid_graph).tolil()
+        lap[0, 0] += 1.0
+        assert is_sdd(lap)
+        assert not is_laplacian(lap)
+
+    def test_non_symmetric_not_sdd(self):
+        mat = sp.csr_matrix(np.array([[2.0, -1.0], [0.0, 2.0]]))
+        assert not is_sdd(mat)
+
+    def test_not_diagonally_dominant(self):
+        mat = sp.csr_matrix(np.array([[1.0, -2.0], [-2.0, 1.0]]))
+        assert not is_sdd(mat)
+
+    def test_positive_offdiag_sdd(self):
+        mat = sp.csr_matrix(np.array([[2.0, 1.0], [1.0, 2.0]]))
+        assert is_sdd(mat)
+        assert not is_laplacian(mat)
+
+
+class TestGrembanReduction:
+    def test_trivial_for_laplacian(self, grid_graph):
+        lap = graph_to_laplacian(grid_graph)
+        red = sdd_to_laplacian(lap)
+        assert red.trivial
+        b = np.arange(grid_graph.n, dtype=float)
+        assert np.allclose(red.expand_rhs(b), b)
+        assert np.allclose(red.restrict_solution(b), b)
+
+    def test_reduction_output_is_laplacian(self):
+        mat, _ = generators.weighted_sdd_system(40, 100, seed=0)
+        red = sdd_to_laplacian(mat)
+        assert not red.trivial
+        assert is_laplacian(red.laplacian)
+        assert red.laplacian.shape == (2 * 40 + 1, 2 * 40 + 1)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_reduction_solves_sdd_system(self, seed):
+        mat, b = generators.weighted_sdd_system(30, 70, seed=seed)
+        red = sdd_to_laplacian(mat)
+        x_exact = spla.spsolve(sp.csc_matrix(mat), b)
+        y = np.linalg.pinv(red.laplacian.toarray()) @ red.expand_rhs(b)
+        x = red.restrict_solution(y)
+        assert np.allclose(x, x_exact, rtol=1e-8, atol=1e-8)
+
+    def test_rejects_non_sdd(self):
+        mat = sp.csr_matrix(np.array([[1.0, -2.0], [-2.0, 1.0]]))
+        with pytest.raises(ValueError):
+            sdd_to_laplacian(mat)
+
+    def test_diagonal_excess_only(self):
+        # Laplacian plus diagonal: common case (e.g. discretized PDE with
+        # Dirichlet boundary).
+        g = generators.grid_2d(5, 5)
+        lap = graph_to_laplacian(g).tolil()
+        lap[0, 0] += 2.0
+        lap[12, 12] += 1.0
+        mat = sp.csr_matrix(lap)
+        red = sdd_to_laplacian(mat)
+        assert not red.trivial
+        b = np.random.default_rng(0).standard_normal(25)
+        x_exact = spla.spsolve(sp.csc_matrix(mat), b)
+        y = np.linalg.pinv(red.laplacian.toarray()) @ red.expand_rhs(b)
+        assert np.allclose(red.restrict_solution(y), x_exact, atol=1e-8)
+
+
+def test_project_out_nullspace():
+    x = np.array([1.0, 2.0, 3.0])
+    assert project_out_nullspace(x).sum() == pytest.approx(0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=20), st.integers(min_value=0, max_value=1000))
+def test_laplacian_quadratic_form_nonnegative(n, seed):
+    rng = np.random.default_rng(seed)
+    m = max(1, n)
+    u = rng.integers(0, n, size=m)
+    v = rng.integers(0, n, size=m)
+    keep = u != v
+    if not np.any(keep):
+        return
+    g = Graph(n, u[keep], v[keep], rng.random(int(keep.sum())) + 0.1)
+    lap = graph_to_laplacian(g)
+    x = rng.standard_normal(n)
+    assert float(x @ (lap @ x)) >= -1e-9

@@ -1,0 +1,184 @@
+"""Tests for the shared linear-algebra helpers and baseline solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import generators
+from repro.graph.laplacian import graph_to_laplacian
+from repro.linalg.cg import conjugate_gradient
+from repro.linalg.direct import (
+    laplacian_pseudoinverse,
+    solve_laplacian_direct,
+    solve_sdd_direct,
+)
+from repro.linalg.jacobi import gauss_seidel_sweep, jacobi_preconditioner
+from repro.linalg.norms import a_norm, a_norm_error, relative_a_norm_error, residual_norm
+from repro.linalg.operators import MatvecCounter, as_operator
+
+
+@pytest.fixture(scope="module")
+def spd_system():
+    """A small SPD system with a known solution."""
+    rng = np.random.default_rng(0)
+    m = rng.standard_normal((40, 40))
+    a = sp.csr_matrix(m @ m.T + 40 * np.eye(40))
+    x = rng.standard_normal(40)
+    return a, a @ x, x
+
+
+@pytest.fixture(scope="module")
+def laplacian_system():
+    g = generators.weighted_grid_2d(10, 10, seed=1, spread=50)
+    lap = graph_to_laplacian(g)
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal(g.n)
+    b -= b.mean()
+    return lap, b
+
+
+class TestNorms:
+    def test_a_norm_identity(self):
+        a = sp.eye(3).tocsr()
+        assert a_norm(a, [3.0, 4.0, 0.0]) == pytest.approx(5.0)
+
+    def test_a_norm_nonnegative_rounding(self):
+        a = sp.csr_matrix(np.zeros((2, 2)))
+        assert a_norm(a, [1.0, 1.0]) == 0.0
+
+    def test_relative_error_zero_for_exact(self, spd_system):
+        a, b, x = spd_system
+        assert relative_a_norm_error(a, x, x) == 0.0
+
+    def test_relative_error_scale_invariance(self, spd_system):
+        a, _, x = spd_system
+        err1 = relative_a_norm_error(a, 1.1 * x, x)
+        err2 = relative_a_norm_error(2 * a, 1.1 * x, x)
+        assert err1 == pytest.approx(err2)
+
+    def test_residual_norm(self, spd_system):
+        a, b, x = spd_system
+        assert residual_norm(a, x, b) == pytest.approx(0.0, abs=1e-10)
+        assert residual_norm(a, np.zeros_like(x), b) == pytest.approx(1.0)
+
+    def test_a_norm_error_triangle(self, spd_system):
+        a, _, x = spd_system
+        y = x + 1.0
+        assert a_norm_error(a, y, x) == pytest.approx(a_norm(a, np.ones_like(x)))
+
+
+class TestOperators:
+    def test_counter_counts(self, spd_system):
+        a, b, _ = spd_system
+        op = MatvecCounter(a)
+        op(b)
+        op @ b
+        assert op.count == 2
+        assert op.nnz == a.nnz
+        assert op.work == 2 * a.nnz
+
+    def test_counter_wraps_callable(self):
+        op = MatvecCounter(lambda x: 2 * x)
+        assert np.allclose(op(np.ones(3)), 2.0)
+        assert op.count == 1
+
+    def test_as_operator(self, spd_system):
+        a, b, _ = spd_system
+        f = as_operator(a)
+        assert np.allclose(f(b), a @ b)
+        g = as_operator(lambda x: x + 1)
+        assert np.allclose(g(np.zeros(2)), 1.0)
+
+
+class TestConjugateGradient:
+    def test_solves_spd(self, spd_system):
+        a, b, x = spd_system
+        res = conjugate_gradient(a, b, tol=1e-12, max_iterations=500)
+        assert res.converged
+        assert np.allclose(res.x, x, atol=1e-6)
+
+    def test_preconditioned_faster(self, laplacian_system):
+        lap, b = laplacian_system
+        plain = conjugate_gradient(lap, b, tol=1e-10, max_iterations=2000, project_nullspace=True)
+        precond = conjugate_gradient(
+            lap,
+            b,
+            tol=1e-10,
+            max_iterations=2000,
+            preconditioner=jacobi_preconditioner(lap),
+            project_nullspace=True,
+        )
+        assert precond.converged and plain.converged
+        assert precond.iterations <= plain.iterations + 5
+
+    def test_laplacian_with_projection(self, laplacian_system):
+        lap, b = laplacian_system
+        res = conjugate_gradient(lap, b, tol=1e-10, max_iterations=2000, project_nullspace=True)
+        assert res.converged
+        x_exact = solve_laplacian_direct(lap, b)
+        assert np.allclose(res.x - res.x.mean(), x_exact, atol=1e-6)
+
+    def test_fixed_iterations(self, spd_system):
+        a, b, _ = spd_system
+        res = conjugate_gradient(a, b, fixed_iterations=3)
+        assert res.iterations == 3
+
+    def test_zero_rhs(self, spd_system):
+        a, _, _ = spd_system
+        res = conjugate_gradient(a, np.zeros(a.shape[0]))
+        assert res.converged
+        assert np.allclose(res.x, 0.0)
+
+    def test_x0_used(self, spd_system):
+        a, b, x = spd_system
+        res = conjugate_gradient(a, b, x0=x, tol=1e-12)
+        assert res.iterations <= 1
+
+    def test_residual_history_monotone_overall(self, spd_system):
+        a, b, _ = spd_system
+        res = conjugate_gradient(a, b, tol=1e-12, max_iterations=200)
+        assert res.residual_norms[-1] < res.residual_norms[0]
+
+
+class TestJacobiGaussSeidel:
+    def test_jacobi_preconditioner_is_diag_inverse(self, spd_system):
+        a, b, _ = spd_system
+        m = jacobi_preconditioner(a)
+        assert np.allclose(m(b), b / a.diagonal())
+
+    def test_jacobi_handles_zero_diag(self):
+        a = sp.csr_matrix(np.diag([2.0, 0.0, 4.0]))
+        m = jacobi_preconditioner(a)
+        out = m(np.ones(3))
+        assert out[1] == 0.0
+
+    def test_gauss_seidel_reduces_residual(self, spd_system):
+        a, b, x = spd_system
+        x0 = np.zeros_like(b)
+        x1 = gauss_seidel_sweep(a, b, x0, sweeps=5)
+        assert residual_norm(a, x1, b) < residual_norm(a, x0, b)
+
+
+class TestDirect:
+    def test_solve_laplacian_direct(self, laplacian_system):
+        lap, b = laplacian_system
+        x = solve_laplacian_direct(lap, b)
+        assert np.allclose(lap @ x, b - b.mean(), atol=1e-8)
+        assert abs(x.mean()) < 1e-10
+
+    def test_laplacian_pseudoinverse(self, laplacian_system):
+        lap, b = laplacian_system
+        pinv = laplacian_pseudoinverse(lap)
+        x = pinv @ b
+        assert np.allclose(lap @ x, b, atol=1e-7)
+
+    def test_solve_sdd_direct(self):
+        mat, b = generators.weighted_sdd_system(30, 70, seed=0)
+        x = solve_sdd_direct(mat, b)
+        assert np.allclose(mat @ x, b, atol=1e-8)
+
+    def test_single_vertex_laplacian(self):
+        lap = sp.csr_matrix((1, 1))
+        assert solve_laplacian_direct(lap, np.array([0.0])).shape == (1,)

@@ -1,0 +1,155 @@
+"""Tests for the PRAM work-depth cost model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram.model import CostModel, ParallelSection, log2ceil, null_cost
+from repro.pram.primitives import (
+    charge_bfs_round,
+    charge_filter,
+    charge_map,
+    charge_reduce,
+    charge_scan,
+    charge_sort,
+)
+
+
+class TestCostModel:
+    def test_charge_accumulates(self):
+        c = CostModel()
+        c.charge(work=10, depth=2)
+        c.charge(work=5, depth=1)
+        assert c.work == 15
+        assert c.depth == 3
+
+    def test_charge_round_counts_rounds(self):
+        c = CostModel()
+        c.charge_round(work=100)
+        c.charge_round(work=50, depth=3)
+        assert c.rounds == 2
+        assert c.depth == 4
+
+    def test_bump_counters(self):
+        c = CostModel()
+        c.bump("retries")
+        c.bump("retries", 2)
+        assert c.counters["retries"] == 3
+
+    def test_sequential_merge(self):
+        a = CostModel()
+        a.charge(work=5, depth=2)
+        b = CostModel()
+        b.charge(work=7, depth=3)
+        b.bump("x")
+        a.sequential(b)
+        assert a.work == 12
+        assert a.depth == 5
+        assert a.counters["x"] == 1
+
+    def test_parallel_merge_takes_max_depth(self):
+        parent = CostModel()
+        with parent.parallel(3) as children:
+            for i, child in enumerate(children):
+                child.charge(work=10, depth=i + 1)
+        assert parent.work == 30
+        assert parent.depth == 3
+
+    def test_parallel_empty(self):
+        parent = CostModel()
+        parent.parallel_merge([])
+        assert parent.work == 0
+
+    def test_null_cost_ignores_charges(self):
+        c = null_cost()
+        before = c.work
+        c.charge(work=100, depth=100)
+        c.bump("anything")
+        assert c.work == before
+
+    def test_snapshot_and_reset(self):
+        c = CostModel()
+        c.charge(work=3, depth=1)
+        c.bump("k", 2)
+        snap = c.snapshot()
+        assert snap["work"] == 3 and snap["k"] == 2
+        c.reset()
+        assert c.work == 0 and c.counters == {}
+
+    def test_parallel_section_records_phase(self):
+        c = CostModel()
+        with ParallelSection(c, "phase1") as sec:
+            sec.charge(work=8, depth=2)
+        assert c.work == 8
+        assert c.counters["phase1_work"] == 8
+        assert c.counters["phase1_depth"] == 2
+
+
+class TestPrimitives:
+    def test_map_linear_work_constant_depth(self):
+        c = CostModel()
+        charge_map(c, 100)
+        assert c.work == 100
+        assert c.depth == 1
+
+    def test_map_zero_items(self):
+        c = CostModel()
+        charge_map(c, 0)
+        assert c.work == 0
+
+    def test_reduce_log_depth(self):
+        c = CostModel()
+        charge_reduce(c, 1024)
+        assert c.work == 1024
+        assert c.depth == 10
+
+    def test_scan_work_and_depth(self):
+        c = CostModel()
+        charge_scan(c, 256)
+        assert c.work == 512
+        assert c.depth == 16
+
+    def test_filter_includes_scan(self):
+        c = CostModel()
+        charge_filter(c, 64)
+        assert c.work == 192
+
+    def test_sort_nlogn(self):
+        c = CostModel()
+        charge_sort(c, 1024)
+        assert c.work == 1024 * 10
+
+    def test_sort_single_item_free(self):
+        c = CostModel()
+        charge_sort(c, 1)
+        assert c.work == 0
+
+    def test_bfs_round(self):
+        c = CostModel()
+        charge_bfs_round(c, frontier_edges=50, n=1024)
+        assert c.rounds == 1
+        assert c.work == 50
+        assert c.depth == 10
+
+    def test_log2ceil(self):
+        assert log2ceil(1) == 1
+        assert log2ceil(2) == 1
+        assert log2ceil(1024) == 10
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 1e6), st.floats(0, 1e3)), min_size=1, max_size=20))
+def test_parallel_composition_bounds(charges):
+    """Parallel depth is bounded by sequential depth; work is identical."""
+    seq = CostModel()
+    par = CostModel()
+    for w, d in charges:
+        seq.charge(work=w, depth=d)
+    with par.parallel(len(charges)) as children:
+        for child, (w, d) in zip(children, charges):
+            child.charge(work=w, depth=d)
+    assert par.work == pytest.approx(seq.work)
+    assert par.depth <= seq.depth + 1e-9
+    assert par.depth == pytest.approx(max(d for _, d in charges))

@@ -1,0 +1,146 @@
+"""Tests for SparseAKPW / low-stretch subgraphs (Lemma 5.5, Theorem 5.9)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.sparse_akpw import (
+    LowStretchSubgraph,
+    SparseAKPWParameters,
+    low_stretch_subgraph,
+    sparse_akpw,
+    well_spaced_split,
+)
+from repro.core.stretch import average_stretch, edge_stretches
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.mst import is_spanning_forest
+from repro.pram.model import CostModel
+
+
+class TestParameters:
+    def test_practical_derivation(self):
+        p = SparseAKPWParameters.practical(2000, lam=3, beta=4.0)
+        assert p.lam == 3
+        assert p.y == pytest.approx(4.0)
+        assert p.z == pytest.approx(32.0)
+        assert 0 < p.theta <= 0.25
+
+    def test_paper_parameters(self):
+        p = SparseAKPWParameters.paper(2000, lam=2)
+        assert p.y >= 1.5
+        assert p.validate_partition
+
+
+class TestWellSpacedSplit:
+    def test_few_classes_nothing_removed(self, grid_graph):
+        removed, specials = well_spaced_split(grid_graph, z=8.0, tau=2, theta=0.2)
+        # unweighted graph: single class, no group large enough
+        assert not removed.any()
+        assert specials == []
+
+    def test_removed_fraction_bounded(self):
+        g = generators.with_random_weights(generators.grid_2d(20, 20), seed=3, spread=1e9)
+        theta = 0.2
+        removed, specials = well_spaced_split(g, z=4.0, tau=2, theta=theta)
+        # Per group at most a theta fraction is set aside; globally this is
+        # also at most a theta fraction (plus rounding slack).
+        assert removed.mean() <= theta + 0.05
+
+    def test_special_classes_follow_removed_ranges(self):
+        g = generators.with_random_weights(generators.grid_2d(16, 16), seed=5, spread=1e8)
+        removed, specials = well_spaced_split(g, z=4.0, tau=2, theta=0.3)
+        classes = g.weight_buckets(4.0)
+        for s in specials:
+            # the tau classes right below a special class are emptied
+            assert not np.any(~removed & np.isin(classes, [s - 1, s - 2]))
+
+    def test_validation(self, grid_graph):
+        with pytest.raises(ValueError):
+            well_spaced_split(grid_graph, z=8.0, tau=0, theta=0.2)
+        with pytest.raises(ValueError):
+            well_spaced_split(grid_graph, z=8.0, tau=2, theta=0.0)
+
+    def test_empty_graph(self):
+        g = Graph(4, [], [], [])
+        removed, specials = well_spaced_split(g, z=4.0, tau=1, theta=0.5)
+        assert removed.size == 0 and specials == []
+
+
+class TestSparseAKPW:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: generators.grid_2d(15, 15),
+            lambda: generators.weighted_grid_2d(15, 15, seed=1, spread=1e5),
+            lambda: generators.erdos_renyi_gnm(300, 1200, seed=2),
+        ],
+    )
+    def test_contains_spanning_forest(self, graph_factory):
+        g = graph_factory()
+        res = sparse_akpw(g, seed=0)
+        assert is_spanning_forest(g, res.tree_edges)
+        assert len(res.tree_edges) == g.n - 1
+        # tree and extra edges are disjoint, union is edge_indices
+        assert np.intersect1d(res.tree_edges, res.extra_edges).size == 0
+        assert np.array_equal(np.union1d(res.tree_edges, res.extra_edges), res.edge_indices)
+
+    def test_edge_count_bound(self):
+        """|E(G_hat)| <= n - 1 + (something much smaller than m)."""
+        g = generators.weighted_grid_2d(20, 20, seed=3, spread=1e6)
+        res = low_stretch_subgraph(g, lam=2, beta=6.0, seed=0)
+        assert res.num_edges <= g.n - 1 + g.num_edges // 2
+
+    def test_larger_beta_means_fewer_extra_edges(self):
+        g = generators.weighted_grid_2d(20, 20, seed=4, spread=1e6)
+        small = low_stretch_subgraph(g, lam=2, beta=3.0, seed=1)
+        large = low_stretch_subgraph(g, lam=2, beta=12.0, seed=1)
+        assert large.num_edges <= small.num_edges + g.n // 10
+
+    def test_average_stretch_polylog(self):
+        """Theorem 5.9's average stretch is polylog; check a generous bound."""
+        g = generators.grid_2d(24, 24)
+        res = low_stretch_subgraph(g, lam=2, beta=6.0, seed=0)
+        avg = average_stretch(g, res.edge_indices)
+        assert avg <= 8.0 * math.log2(g.n) ** 2
+
+    def test_stretch_finite_and_positive(self, weighted_grid_graph):
+        res = low_stretch_subgraph(weighted_grid_graph, seed=2)
+        stretches = edge_stretches(weighted_grid_graph, res.edge_indices)
+        assert np.all(np.isfinite(stretches))
+        assert np.all(stretches > 0)
+
+    def test_subgraph_method(self, grid_graph):
+        res = low_stretch_subgraph(grid_graph, seed=0)
+        sub = res.subgraph(grid_graph)
+        assert sub.n == grid_graph.n
+        assert sub.num_edges == res.num_edges
+
+    def test_set_aside_edges_are_in_output(self):
+        g = generators.with_random_weights(generators.grid_2d(16, 16), seed=6, spread=1e9)
+        params = SparseAKPWParameters.practical(g.n, lam=1, beta=3.0)
+        removed, _ = well_spaced_split(g, params.z, tau=2, theta=params.theta)
+        res = low_stretch_subgraph(g, parameters=params, seed=0)
+        if removed.any():
+            assert np.all(np.isin(np.flatnonzero(removed), res.edge_indices))
+
+    def test_deterministic(self, weighted_grid_graph):
+        r1 = low_stretch_subgraph(weighted_grid_graph, seed=9)
+        r2 = low_stretch_subgraph(weighted_grid_graph, seed=9)
+        assert np.array_equal(r1.edge_indices, r2.edge_indices)
+
+    def test_empty_graph(self):
+        g = Graph(5, [], [], [])
+        res = low_stretch_subgraph(g, seed=0)
+        assert res.num_edges == 0
+
+    def test_cost_and_stats(self, weighted_grid_graph):
+        cost = CostModel()
+        res = low_stretch_subgraph(weighted_grid_graph, seed=0, cost=cost)
+        assert cost.work > 0
+        assert res.stats["iterations"] >= 1
+        assert "depth_max_segment" in res.stats
+        assert res.stats["depth_max_segment"] <= res.stats["depth_sequential"] + 1e-9

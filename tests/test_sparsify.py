@@ -1,0 +1,114 @@
+"""Tests for incremental sparsification (Lemma 6.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.core.sparse_akpw import low_stretch_subgraph
+from repro.core.sparsify import incremental_sparsify, resistive_stretches
+from repro.graph import generators
+from repro.graph.laplacian import graph_to_laplacian
+from repro.graph.mst import minimum_spanning_tree_edges
+
+
+def _generalized_extremes(g_orig, h_graph):
+    """Extreme generalized eigenvalues of (L_G, L_H) on the range."""
+    n = g_orig.n
+    lg = graph_to_laplacian(g_orig).toarray()
+    lh = graph_to_laplacian(h_graph).toarray()
+    shift = np.ones((n, n)) / n
+    evals = np.sort(np.real(sla.eigvalsh(lg + shift, lh + shift)))
+    return float(evals[0]), float(evals[-1])
+
+
+@pytest.fixture(scope="module")
+def grid_and_subgraph():
+    g = generators.grid_2d(14, 14)
+    sub = low_stretch_subgraph(g.reweighted(1.0 / g.w), lam=2, beta=6.0, seed=0)
+    return g, sub.edge_indices
+
+
+class TestResistiveStretch:
+    def test_subgraph_edges_have_stretch_one(self, grid_and_subgraph):
+        g, sub = grid_and_subgraph
+        stretches = resistive_stretches(g, sub, sub)
+        assert np.allclose(stretches, 1.0)
+
+    def test_unit_weights_match_hop_stretch(self):
+        g = generators.grid_2d(8, 8)
+        tree = minimum_spanning_tree_edges(g)
+        from repro.core.stretch import tree_stretches
+
+        assert np.allclose(resistive_stretches(g, tree), tree_stretches(g, tree))
+
+    def test_weighted_resistive_stretch(self):
+        from repro.graph.graph import Graph
+
+        # triangle: edge 2 has high conductance (low resistance)
+        g = Graph(3, [0, 1, 0], [1, 2, 2], [1.0, 1.0, 10.0])
+        sub = np.array([0, 1])  # the two unit-conductance edges
+        st = resistive_stretches(g, sub, np.array([2]))
+        # resistance of the path = 1 + 1 = 2, conductance of edge = 10
+        assert st[0] == pytest.approx(20.0)
+
+
+class TestIncrementalSparsify:
+    def test_subgraph_edges_always_kept(self, grid_and_subgraph):
+        g, sub = grid_and_subgraph
+        res = incremental_sparsify(g, sub, kappa=10.0, seed=0)
+        assert np.array_equal(res.subgraph_edges, np.sort(sub))
+        assert res.num_edges >= len(sub)
+
+    def test_larger_kappa_fewer_edges(self, grid_and_subgraph):
+        g, sub = grid_and_subgraph
+        small = incremental_sparsify(g, sub, kappa=4.0, seed=1, use_log_factor=False)
+        large = incremental_sparsify(g, sub, kappa=64.0, seed=1, use_log_factor=False)
+        assert large.num_edges <= small.num_edges
+
+    def test_spectral_sandwich_subgraph_variant(self, grid_and_subgraph):
+        """H ⪯ G and G ⪯ O(kappa) H for the plain-subgraph variant."""
+        g, sub = grid_and_subgraph
+        kappa = 12.0
+        res = incremental_sparsify(g, sub, kappa=kappa, seed=2, use_log_factor=False)
+        lo, hi = _generalized_extremes(g, res.graph)
+        assert lo >= 1.0 - 1e-6  # H ⪯ G exactly
+        assert hi <= 6.0 * kappa  # G ⪯ O(kappa) H
+
+    def test_reweighted_variant_unbiased(self, grid_and_subgraph):
+        """The unbiased variant has generalized eigenvalues straddling 1."""
+        g, sub = grid_and_subgraph
+        res = incremental_sparsify(g, sub, kappa=8.0, seed=3, use_log_factor=True, reweight=True)
+        lo, hi = _generalized_extremes(g, res.graph)
+        assert lo <= 1.0 + 1e-6 <= hi + 1.0  # lower end at or below 1
+
+    def test_all_edges_in_subgraph_shortcut(self):
+        g = generators.path_graph(20)
+        res = incremental_sparsify(g, np.arange(g.num_edges), kappa=5.0, seed=0)
+        assert res.num_edges == g.num_edges
+        assert res.sampled_edges.size == 0
+
+    def test_kappa_validation(self, grid_and_subgraph):
+        g, sub = grid_and_subgraph
+        with pytest.raises(ValueError):
+            incremental_sparsify(g, sub, kappa=1.0)
+
+    def test_stats_recorded(self, grid_and_subgraph):
+        g, sub = grid_and_subgraph
+        res = incremental_sparsify(g, sub, kappa=10.0, seed=4)
+        assert res.stats["total_stretch"] > 0
+        assert res.stats["off_subgraph_edges"] == g.num_edges - len(sub)
+
+    def test_deterministic(self, grid_and_subgraph):
+        g, sub = grid_and_subgraph
+        r1 = incremental_sparsify(g, sub, kappa=10.0, seed=7)
+        r2 = incremental_sparsify(g, sub, kappa=10.0, seed=7)
+        assert np.array_equal(r1.sampled_edges, r2.sampled_edges)
+
+    def test_boolean_mask_input(self, grid_and_subgraph):
+        g, sub = grid_and_subgraph
+        mask = np.zeros(g.num_edges, dtype=bool)
+        mask[sub] = True
+        res = incremental_sparsify(g, mask, kappa=10.0, seed=0)
+        assert res.num_edges >= len(sub)

@@ -1,0 +1,126 @@
+"""Tests for exact stretch measurement (tree LCA path and Dijkstra path)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stretch import average_stretch, edge_stretches, total_stretch, tree_stretches
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.mst import minimum_spanning_tree_edges
+from repro.graph.shortest_paths import dijkstra_distances
+
+
+class TestTreeStretches:
+    def test_path_tree_stretch_is_one(self):
+        g = generators.path_graph(6)
+        stretches = tree_stretches(g, np.arange(5))
+        assert np.allclose(stretches, 1.0)
+
+    def test_cycle_with_path_tree(self):
+        g = generators.cycle_graph(5)
+        tree = np.arange(4)  # drop the closing edge
+        stretches = tree_stretches(g, tree)
+        assert np.allclose(stretches[:4], 1.0)
+        assert stretches[4] == pytest.approx(4.0)  # closing edge routed the long way
+
+    def test_weighted_cycle(self):
+        g = Graph(4, [0, 1, 2, 3], [1, 2, 3, 0], [1.0, 2.0, 3.0, 10.0])
+        tree = np.array([0, 1, 2])
+        stretches = tree_stretches(g, tree)
+        assert stretches[3] == pytest.approx((1.0 + 2.0 + 3.0) / 10.0)
+
+    def test_star_tree(self):
+        g = generators.complete_graph(5)
+        # star tree: edges incident to vertex 0
+        tree = np.array([e for e in range(g.num_edges) if 0 in (g.u[e], g.v[e])])
+        stretches = tree_stretches(g, tree)
+        non_tree = np.setdiff1d(np.arange(g.num_edges), tree)
+        assert np.allclose(stretches[tree], 1.0)
+        assert np.allclose(stretches[non_tree], 2.0)
+
+    def test_tree_edge_stretch_always_one(self, weighted_grid_graph):
+        tree = minimum_spanning_tree_edges(weighted_grid_graph)
+        stretches = tree_stretches(weighted_grid_graph, tree, query_edges=tree)
+        assert np.allclose(stretches, 1.0)
+
+    def test_matches_dijkstra_reference(self, weighted_grid_graph):
+        g = weighted_grid_graph
+        tree = minimum_spanning_tree_edges(g)
+        stretches = tree_stretches(g, tree)
+        tree_graph = g.edge_subgraph(tree)
+        # verify a sample of edges against exact Dijkstra distances in the tree
+        rng = np.random.default_rng(0)
+        sample = rng.choice(g.num_edges, size=20, replace=False)
+        for e in sample:
+            d = dijkstra_distances(tree_graph, int(g.u[e]))[0, int(g.v[e])]
+            assert stretches[e] == pytest.approx(d / g.w[e], rel=1e-9)
+
+    def test_disconnected_forest_gives_inf(self):
+        g = generators.path_graph(4)
+        forest = np.array([0, 2])  # omit the middle edge
+        stretches = tree_stretches(g, forest)
+        assert np.isinf(stretches[1])
+
+    def test_rejects_cyclic_tree_edges(self):
+        g = generators.cycle_graph(4)
+        with pytest.raises(ValueError):
+            tree_stretches(g, np.arange(4))
+
+    def test_query_subset(self, grid_graph):
+        tree = minimum_spanning_tree_edges(grid_graph)
+        q = np.array([0, 5, 10])
+        stretches = tree_stretches(grid_graph, tree, query_edges=q)
+        assert stretches.shape == (3,)
+
+
+class TestSubgraphStretches:
+    def test_full_graph_stretch_at_most_one(self, weighted_grid_graph):
+        g = weighted_grid_graph
+        stretches = edge_stretches(g, np.arange(g.num_edges))
+        assert np.all(stretches <= 1.0 + 1e-9)
+
+    def test_subgraph_with_cycle_uses_dijkstra(self):
+        g = generators.cycle_graph(6)
+        sub = np.arange(6)  # the whole cycle (has a cycle, not a forest)
+        stretches = edge_stretches(g, sub)
+        assert np.allclose(stretches, 1.0)
+
+    def test_forest_dispatch_matches_tree_path(self, grid_graph):
+        tree = minimum_spanning_tree_edges(grid_graph)
+        s1 = edge_stretches(grid_graph, tree)
+        s2 = tree_stretches(grid_graph, tree)
+        assert np.allclose(s1, s2)
+
+    def test_extra_edges_reduce_stretch(self, grid_graph):
+        tree = minimum_spanning_tree_edges(grid_graph)
+        t_total = total_stretch(grid_graph, tree)
+        richer = np.union1d(tree, np.arange(0, grid_graph.num_edges, 7))
+        r_total = total_stretch(grid_graph, richer)
+        assert r_total <= t_total + 1e-9
+
+    def test_aggregates(self, grid_graph):
+        tree = minimum_spanning_tree_edges(grid_graph)
+        stretches = edge_stretches(grid_graph, tree)
+        assert total_stretch(grid_graph, tree) == pytest.approx(stretches.sum())
+        assert average_stretch(grid_graph, tree) == pytest.approx(stretches.mean())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=25),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_property_tree_stretch_at_least_one_for_unit_weights(n, seed):
+    """For unweighted graphs tree distances are at least the edge length 1."""
+    rng = np.random.default_rng(seed)
+    m = min(n * (n - 1) // 2, 3 * n)
+    g = generators.erdos_renyi_gnm(n, max(n - 1, m // 2), seed=seed)
+    tree = minimum_spanning_tree_edges(g)
+    stretches = tree_stretches(g, tree)
+    assert np.all(stretches >= 1.0 - 1e-9)
+    # tree edges have stretch exactly 1
+    assert np.allclose(stretches[tree], 1.0)

@@ -1,0 +1,102 @@
+"""Tests for the utility modules (rng, validation, records)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.util.records import ExperimentRow, format_table
+from repro.util.rng import as_rng, derive_seed, spawn_rngs
+from repro.util.validation import (
+    check_positive,
+    check_probability,
+    check_square,
+    check_symmetric,
+    check_vector,
+)
+
+
+class TestRng:
+    def test_as_rng_from_int_deterministic(self):
+        assert as_rng(7).integers(0, 100) == as_rng(7).integers(0, 100)
+
+    def test_as_rng_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_as_rng_from_none(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_spawn_rngs_independent_and_deterministic(self):
+        a = [g.integers(0, 1000) for g in spawn_rngs(3, 4)]
+        b = [g.integers(0, 1000) for g in spawn_rngs(3, 4)]
+        assert a == b
+        assert len(set(a)) > 1
+
+    def test_spawn_from_generator(self):
+        gens = spawn_rngs(np.random.default_rng(1), 3)
+        assert len(gens) == 3
+
+    def test_derive_seed_range(self):
+        s = derive_seed(np.random.default_rng(0))
+        assert 0 <= s < 2**63
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 2.0) == 2.0
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+        assert check_positive("x", 0.0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_square(self):
+        check_square("m", np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            check_square("m", np.zeros((2, 3)))
+
+    def test_check_vector(self):
+        v = check_vector("b", [1, 2, 3], 3)
+        assert v.dtype == float
+        with pytest.raises(ValueError):
+            check_vector("b", [1, 2], 3)
+
+    def test_check_symmetric(self):
+        check_symmetric("m", sp.csr_matrix(np.eye(3)))
+        with pytest.raises(ValueError):
+            check_symmetric("m", sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]])))
+
+
+class TestRecords:
+    def test_experiment_row_as_dict(self):
+        row = ExperimentRow("E1", "grid", params={"rho": 4}, measured={"radius": 3})
+        d = row.as_dict()
+        assert d["experiment"] == "E1"
+        assert d["params"]["rho"] == 4
+
+    def test_format_table_contains_values(self):
+        rows = [
+            ExperimentRow("E1", "grid", params={"rho": 4}, measured={"cut": 0.25}),
+            ExperimentRow("E1", "torus", params={"rho": 8}, measured={"cut": 0.125}),
+        ]
+        table = format_table(rows)
+        assert "grid" in table and "torus" in table
+        assert "rho" in table and "cut" in table
+        assert "0.25" in table
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_explicit_columns(self):
+        rows = [ExperimentRow("E2", "g", params={"alpha": 1}, measured={"b": 2.0})]
+        table = format_table(rows, columns=["b"])
+        header = table.splitlines()[0]
+        assert "b" in header
+        assert "alpha" not in header
