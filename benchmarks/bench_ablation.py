@@ -12,7 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.conftest import print_table
-from repro.core.solver import SDDSolver
+from repro.core.config import ChainConfig
+from repro.core.operator import factorize
 from repro.graph import generators
 from repro.graph.laplacian import graph_to_laplacian
 from repro.pram.model import CostModel
@@ -33,8 +34,8 @@ class TestE11Ablations:
         def run():
             rows = []
             for label, tree_only in [("subgraph (paper)", False), ("tree only", True)]:
-                solver = SDDSolver(g, seed=0, use_tree_only=tree_only)
-                report = solver.solve(b, tol=1e-8)
+                op = factorize(g, ChainConfig(use_tree_only=tree_only), seed=0)
+                report = op.solve(b, tol=1e-8)
                 rows.append(
                     ExperimentRow(
                         "E11",
@@ -42,7 +43,7 @@ class TestE11Ablations:
                         params={"m": g.num_edges},
                         measured={
                             "outer_iterations": report.iterations,
-                            "levels": solver.chain.depth,
+                            "levels": op.chain.depth,
                             "converged": report.converged,
                         },
                     )
@@ -66,15 +67,15 @@ class TestE11Ablations:
             for label, bottom in [("m^(1/3) bottom", max(40, int(round(g.num_edges ** (1 / 3))))),
                                   ("large bottom (n/3)", g.n // 3)]:
                 cost = CostModel()
-                solver = SDDSolver(g, seed=0, cost=cost, bottom_size=bottom, kappa=49.0)
-                report = solver.solve(b, tol=1e-8)
+                op = factorize(g, ChainConfig(bottom_size=bottom, kappa=49.0), seed=0, cost=cost)
+                report = op.solve(b, tol=1e-8)
                 rows.append(
                     ExperimentRow(
                         "E11",
                         label,
                         params={"bottom_size": bottom},
                         measured={
-                            "levels": solver.chain.depth,
+                            "levels": op.chain.depth,
                             "outer_iterations": report.iterations,
                             "work": cost.work,
                             "depth": cost.depth,

@@ -7,18 +7,41 @@ Regenerates the paper's headline claims:
   work exponent stays well below 2 across a size sweep;
 * depth — charged depth is polynomially smaller than work (the m^(1/3+θ)
   claim: depth/work shrinks as the instance grows);
-* comparison against CG and Jacobi-PCG baselines (iteration counts).
+* comparison against CG and Jacobi-PCG baselines (iteration counts);
+* amortization — setup (factorize) versus per-solve cost, and batched
+  multi-RHS solves versus a loop of independent solves.
+
+Machine-readable output
+-----------------------
+Run this module as a script to emit ``BENCH_solver.json``::
+
+    PYTHONPATH=src python benchmarks/bench_solver.py --json
+    PYTHONPATH=src python benchmarks/bench_solver.py --json --out path.json
+
+The JSON payload records, per workload, the setup work/depth/wall-time, the
+per-solve work/depth/wall-time, and the batched-vs-looped multi-RHS
+comparison — giving future PRs a perf trajectory to diff against.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import math
+import sys
+import time
+from typing import Dict, List
 
 import numpy as np
 
-from benchmarks.conftest import print_table
-from repro.core.chain import default_bottom_size
-from repro.core.solver import SDDSolver
+try:
+    from benchmarks.conftest import print_table
+except ImportError:  # executed as a script: benchmarks/ itself is on sys.path
+    from conftest import print_table
+
+from repro.core.chain_cache import clear_chain_cache
+from repro.core.config import ChainConfig, SolverConfig
+from repro.core.operator import factorize
 from repro.graph import generators
 from repro.graph.laplacian import graph_to_laplacian
 from repro.linalg.cg import conjugate_gradient
@@ -35,6 +58,12 @@ def _rhs(graph, seed=0):
     return b - b.mean()
 
 
+def _rhs_batch(graph, k, seed=0):
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal((graph.n, k))
+    return b - b.mean(axis=0)
+
+
 class TestE8Accuracy:
     def test_a_norm_accuracy(self, benchmark, bench_grid, bench_weighted_grid, bench_random_graph):
         workloads = [
@@ -48,8 +77,8 @@ class TestE8Accuracy:
             for name, g in workloads:
                 lap = graph_to_laplacian(g)
                 b = _rhs(g)
-                solver = SDDSolver(g, seed=0)
-                report = solver.solve(b, tol=1e-8)
+                op = factorize(g, seed=0)
+                report = op.solve(b, tol=1e-8)
                 x_exact = solve_laplacian_direct(lap, b)
                 err = relative_a_norm_error(lap, report.x - report.x.mean(), x_exact)
                 rows.append(
@@ -58,7 +87,7 @@ class TestE8Accuracy:
                         name,
                         params={"n": g.n, "m": g.num_edges},
                         measured={
-                            "levels": solver.chain.depth,
+                            "levels": op.chain.depth,
                             "outer_iterations": report.iterations,
                             "a_norm_error": err,
                             "eps_target": 1e-8,
@@ -80,8 +109,8 @@ class TestE8Baselines:
         b = _rhs(g)
 
         def run():
-            solver = SDDSolver(g, seed=0)
-            chain_report = solver.solve(b, tol=1e-8)
+            op = factorize(g, seed=0)
+            chain_report = op.solve(b, tol=1e-8)
             plain = conjugate_gradient(lap, b, tol=1e-8, max_iterations=8000, project_nullspace=True)
             jacobi = conjugate_gradient(
                 lap, b, tol=1e-8, max_iterations=8000,
@@ -115,12 +144,12 @@ class TestE8WorkDepthScaling:
                 g = generators.grid_2d(size, size)
                 cost = CostModel()
                 # Faithful chain termination at ~m^(1/3) for the depth claim.
-                solver = SDDSolver(
-                    g, seed=0, cost=cost,
+                config = ChainConfig(
                     bottom_size=max(40, int(round(g.num_edges ** (1 / 3)))),
                     kappa=49.0,
                 )
-                report = solver.solve(_rhs(g), tol=1e-6)
+                op = factorize(g, config, seed=0, cost=cost)
+                report = op.solve(_rhs(g), tol=1e-6)
                 rows.append(
                     ExperimentRow(
                         "E8",
@@ -152,3 +181,153 @@ class TestE8WorkDepthScaling:
         # depth is a vanishing fraction of work as the instance grows
         dw = [r.measured["depth_over_work"] for r in rows]
         assert dw[-1] < dw[0]
+
+
+class TestE8MultiRHS:
+    def test_batched_beats_looped(self, benchmark):
+        g = generators.grid_2d(24, 24)
+        batch = _rhs_batch(g, 8)
+
+        def run():
+            row, _op, _t = _multi_rhs_row("grid24", g, batch)
+            return [row]
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        print_table("E8: batched multi-RHS vs factorize-per-solve loop", rows)
+        r = rows[0].measured
+        # Factorize-once + one batched call must charge strictly less work
+        # than the historical loop that rebuilds the chain per solve.
+        assert r["batched_total_work"] < r["looped_total_work"]
+        assert r["batched_residual"] <= 1e-6
+
+
+def _multi_rhs_row(name: str, g, batch: np.ndarray):
+    """Compare one batched multi-RHS solve against a factorize-per-solve loop.
+
+    Returns ``(row, operator, setup_seconds)`` so callers can reuse the
+    factorization instead of paying for it again.
+    """
+    k = batch.shape[1]
+
+    cost_batched = CostModel()
+    t0 = time.time()
+    op = factorize(g, seed=0, cost=cost_batched)
+    t_setup = time.time() - t0
+    t0 = time.time()
+    batched = op.solve(batch, tol=1e-8)
+    t_batched = time.time() - t0
+
+    cost_looped = CostModel()
+    t0 = time.time()
+    for j in range(k):
+        loop_op = factorize(g, seed=0, cost=cost_looped)
+        loop_op.solve(batch[:, j], tol=1e-8)
+    t_looped = time.time() - t0
+
+    row = ExperimentRow(
+        "E8",
+        name,
+        params={"n": g.n, "m": g.num_edges, "k": k},
+        measured={
+            "setup_work": op.setup_work,
+            "setup_depth": op.setup_depth,
+            "setup_seconds": t_setup,
+            "batched_solve_work": batched.work,
+            "batched_solve_depth": batched.depth,
+            "batched_seconds": t_batched,
+            "batched_total_work": op.setup_work + batched.work,
+            "looped_total_work": cost_looped.work,
+            "looped_seconds": t_looped,
+            "batched_residual": batched.relative_residual,
+            "work_ratio": (op.setup_work + batched.work) / cost_looped.work,
+            "wall_speedup": t_looped / max(t_batched + t_setup, 1e-9),
+        },
+    )
+    return row, op, t_setup
+
+
+# --------------------------------------------------------------------------- #
+# standalone --json harness
+# --------------------------------------------------------------------------- #
+def collect_payload(sizes=(16, 24, 32), batch_width: int = 8) -> Dict:
+    """Measure setup vs per-solve cost and multi-RHS behaviour per workload."""
+    clear_chain_cache()
+    workloads: List[Dict] = []
+    for size in sizes:
+        g = generators.grid_2d(size, size)
+        batch = _rhs_batch(g, batch_width)
+        b = _rhs(g)
+
+        row, op, setup_seconds = _multi_rhs_row(f"grid{size}", g, batch)
+
+        t0 = time.time()
+        single = op.solve(b, tol=1e-8)
+        single_seconds = time.time() - t0
+        workloads.append(
+            {
+                "workload": f"grid{size}",
+                "n": g.n,
+                "m": g.num_edges,
+                "chain_levels": op.chain.depth,
+                "setup": {
+                    "work": op.setup_work,
+                    "depth": op.setup_depth,
+                    "seconds": setup_seconds,
+                },
+                "per_solve": {
+                    "work": single.work,
+                    "depth": single.depth,
+                    "seconds": single_seconds,
+                    "iterations": single.iterations,
+                    "relative_residual": single.relative_residual,
+                },
+                "multi_rhs": dict(row.measured, k=batch_width),
+            }
+        )
+    return {
+        "experiment": "E8",
+        "schema_version": 1,
+        "batch_width": batch_width,
+        "workloads": workloads,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="write the machine-readable benchmark payload",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_solver.json",
+        help="output path for --json (default: BENCH_solver.json)",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[16, 24, 32],
+        help="grid side lengths to sweep",
+    )
+    parser.add_argument("--batch", type=int, default=8, help="multi-RHS batch width")
+    args = parser.parse_args(argv)
+
+    payload = collect_payload(sizes=tuple(args.sizes), batch_width=args.batch)
+    for w in payload["workloads"]:
+        ratio = w["multi_rhs"]["work_ratio"]
+        print(
+            f"{w['workload']}: setup work {w['setup']['work']:.3g}, "
+            f"per-solve work {w['per_solve']['work']:.3g}, "
+            f"batched/looped work ratio {ratio:.3f}"
+        )
+    if args.json:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,29 +4,61 @@ Low-Stretch Subgraphs" (SPAA 2011).
 
 Public API highlights
 ---------------------
-* :class:`repro.graph.Graph` and :mod:`repro.graph.generators` — graph substrate.
+* :func:`repro.factorize` / :class:`repro.LaplacianOperator` — the
+  factorize-once / solve-many solver lifecycle (Theorem 1.1): build the
+  preconditioner chain once, then ``solve(b)`` any number of ``(n,)``
+  vectors or batched ``(n, k)`` right-hand-side blocks against it.
+* :func:`repro.solve` — one-call facade with a process-level chain cache.
+* :class:`repro.ChainConfig` / :class:`repro.SolverConfig` — frozen
+  configuration objects (chain construction vs. iteration strategy; the
+  method registry in :mod:`repro.core.methods` provides ``pcg``,
+  ``chebyshev``, and the ``jacobi`` / ``direct`` baselines).
+* :class:`repro.graph.Graph` and :mod:`repro.graph.generators` — graph
+  substrate.
 * :func:`repro.core.partition` / :func:`repro.core.split_graph` — parallel
   low-diameter decomposition (Theorem 4.1).
 * :func:`repro.core.akpw_spanning_tree` — low-stretch spanning trees
   (Theorem 5.1).
 * :func:`repro.core.low_stretch_subgraph` — low-stretch ultra-sparse
   subgraphs (Theorem 5.9).
-* :class:`repro.core.SDDSolver` / :func:`repro.core.sdd_solve` — the near
-  linear-work SDD solver (Theorem 1.1).
 * :mod:`repro.apps` — spectral sparsification, approximate max-flow, and
-  decomposition spanners built on the solver.
+  decomposition spanners built on the solver (the sparsifier's JL solves
+  ride the batched multi-RHS path).
 * :class:`repro.pram.CostModel` — PRAM work/depth accounting used by the
   benchmarks.
+
+Deprecated (thin shims, to be removed): :class:`repro.SDDSolver`,
+:func:`repro.sdd_solve`.
+
+Quickstart
+----------
+>>> import numpy as np, repro
+>>> from repro.graph import generators
+>>> g = generators.grid_2d(20, 20)
+>>> op = repro.factorize(g, seed=0)
+>>> B = np.random.default_rng(0).standard_normal((g.n, 4))
+>>> B -= B.mean(axis=0)
+>>> report = op.solve(B, tol=1e-8)     # one batched call, four solves
+>>> bool(report.converged)
+True
 """
 
 from repro.graph.graph import Graph
 from repro.core.decomposition import split_graph, partition, Decomposition
 from repro.core.akpw import akpw_spanning_tree, AKPWParameters
 from repro.core.sparse_akpw import low_stretch_subgraph, sparse_akpw, SparseAKPWParameters
-from repro.core.solver import SDDSolver, sdd_solve, SolveReport
+from repro.core.config import ChainConfig, SolverConfig
+from repro.core.operator import factorize, LaplacianOperator, SolveReport
+from repro.core.chain_cache import (
+    chain_cache_stats,
+    clear_chain_cache,
+    set_chain_cache_capacity,
+)
+from repro.core.solver import SDDSolver, sdd_solve
+from repro.api import solve
 from repro.pram.model import CostModel
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "Graph",
@@ -38,9 +70,17 @@ __all__ = [
     "low_stretch_subgraph",
     "sparse_akpw",
     "SparseAKPWParameters",
+    "factorize",
+    "solve",
+    "LaplacianOperator",
+    "ChainConfig",
+    "SolverConfig",
+    "SolveReport",
+    "chain_cache_stats",
+    "clear_chain_cache",
+    "set_chain_cache_capacity",
     "SDDSolver",
     "sdd_solve",
-    "SolveReport",
     "CostModel",
     "__version__",
 ]

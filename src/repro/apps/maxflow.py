@@ -9,11 +9,16 @@ graphs, together with an exact augmenting-path baseline for validation:
   capacity graph; exact, used as ground truth and as its own substrate
   implementation.
 * ``approx_max_flow`` — multiplicative-weights over electrical flows: each
-  iteration solves a Laplacian system (through :class:`SDDSolver`) whose
-  edge conductances are capacity-scaled weights, routes one unit of
-  electrical s-t flow, and penalizes over-congested edges.  Binary search on
-  the flow value finds the largest value that can be routed with congestion
-  at most ``1 + eps``.
+  iteration solves a Laplacian system (through
+  :func:`repro.core.operator.factorize`) whose edge conductances are
+  capacity-scaled weights, routes one unit of electrical s-t flow, and
+  penalizes over-congested edges.  Binary search on the flow value finds the
+  largest value that can be routed with congestion at most ``1 + eps``.
+
+Every multiplicative-weights restart begins from the *same* uniform-weight
+network, so its factorization is requested through the process-level chain
+cache — the first iteration of every binary-search probe after the first
+reuses the cached chain instead of rebuilding it.
 """
 
 from __future__ import annotations
@@ -25,9 +30,9 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.core.solver import SDDSolver
+from repro.core.operator import factorize
 from repro.graph.graph import Graph
-from repro.util.rng import RngLike, as_rng
+from repro.util.rng import RngLike, as_rng, derive_seed
 
 
 @dataclass
@@ -139,15 +144,24 @@ def _electrical_flow(
     source: int,
     sink: int,
     solver_tol: float,
-    seed: RngLike,
+    seed: int,
 ) -> np.ndarray:
-    """Unit s-t electrical flow with conductances ``c_e = cap_e^2 / w_e``."""
+    """Unit s-t electrical flow with conductances ``c_e = cap_e^2 / w_e``.
+
+    ``seed`` is a fixed integer so that repeated requests for the same
+    weight vector hit the process-level chain cache instead of
+    refactorizing.  Only the uniform-weight system (the restart state of
+    every multiplicative-weights probe) is worth caching — the reweighted
+    systems of later iterations are never seen twice, and inserting them
+    would evict the reusable entry.
+    """
     conductance = graph.w**2 / np.maximum(weights, 1e-300)
     network = graph.reweighted(conductance)
-    solver = SDDSolver(network, seed=seed)
+    reusable = bool(np.all(weights == 1.0))
+    operator = factorize(network, seed=seed, cache=reusable)
     b = np.zeros(graph.n)
     b[source], b[sink] = 1.0, -1.0
-    potentials = solver.solve(b, tol=solver_tol).x
+    potentials = operator.solve(b, tol=solver_tol).x
     return conductance * (potentials[graph.u] - potentials[graph.v])
 
 
@@ -193,13 +207,17 @@ def approx_max_flow(
     if max_iterations is None:
         max_iterations = int(math.ceil(8.0 * math.log(max(m, 2)) / epsilon**2))
     max_iterations = max(4, max_iterations)
+    # One integer seed for every electrical-flow factorization: identical
+    # networks (notably the uniform-weight restart of each probe) then share
+    # a cached chain.
+    solver_seed = derive_seed(rng)
 
     def route(value: float) -> Tuple[bool, np.ndarray, int]:
         """Try to route ``value`` units with congestion <= 1 + eps."""
         weights = np.ones(m)
         accumulated = np.zeros(m)
         for it in range(1, max_iterations + 1):
-            unit_flow = _electrical_flow(graph, weights, source, sink, solver_tol, rng)
+            unit_flow = _electrical_flow(graph, weights, source, sink, solver_tol, solver_seed)
             edge_flow = value * unit_flow
             congestion = np.abs(edge_flow) / graph.w
             max_cong = float(congestion.max(initial=0.0))

@@ -6,6 +6,11 @@ spanning subgraph whose distances approximate the original ones up to a
 factor related to the component diameters — the same mechanism that powers
 the AKPW construction, exposed here as a standalone utility (and exercised as
 an example application).
+
+Unlike its siblings in :mod:`repro.apps`, the spanner is built purely on the
+decomposition layer — it performs no Laplacian solves, so it has no solver
+lifecycle to manage; it only threads a :class:`~repro.pram.model.CostModel`
+through the decomposition/contraction rounds.
 """
 
 from __future__ import annotations

@@ -2,12 +2,16 @@
 
 The paper notes (Section 1, "Some Applications") that spectral sparsifiers
 follow from O(log n) Laplacian solves.  This module implements the
-Spielman–Srivastava construction on top of :class:`repro.core.solver.SDDSolver`:
+Spielman–Srivastava construction on top of the factorize-once / solve-many
+solver API (:func:`repro.core.operator.factorize`):
 
 1. effective resistances are estimated as
    ``R_eff(u, v) ≈ ||Q B L^+ (e_u - e_v)||^2`` where ``B`` is the weighted
    incidence matrix and ``Q`` a random ±1 Johnson–Lindenstrauss projection
-   with ``O(log n / eps^2)`` rows — each row costs one solve;
+   with ``O(log n / eps^2)`` rows — all rows are solved against the *same*
+   factorized Laplacian in **one batched multi-RHS call**, so the chain is
+   built once and every matvec/elimination transfer is shared across the JL
+   dimensions;
 2. ``q`` edges are sampled with replacement with probability proportional to
    ``w_e * R_eff(e)`` (their leverage scores) and reweighted by
    ``w_e / (q p_e)``.
@@ -24,7 +28,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.solver import SDDSolver
+from repro.core.operator import LaplacianOperator, factorize
 from repro.graph.graph import Graph
 from repro.graph.laplacian import graph_to_laplacian
 from repro.util.rng import RngLike, as_rng
@@ -57,7 +61,7 @@ def effective_resistances(
     *,
     jl_dimension: Optional[int] = None,
     epsilon: float = 0.3,
-    solver: Optional[SDDSolver] = None,
+    operator: Optional[LaplacianOperator] = None,
     solver_tol: float = 1e-6,
     seed: RngLike = None,
     exact: bool = False,
@@ -68,13 +72,14 @@ def effective_resistances(
     ----------
     jl_dimension:
         Number of random projection rows; defaults to
-        ``ceil(24 log n / eps^2)`` capped at 200.  Each row costs one
-        Laplacian solve.
+        ``ceil(24 log n / eps^2)`` capped at 200.  All rows are solved in a
+        single batched call against one factorization.
     exact:
         Compute exact resistances with a dense pseudo-inverse instead
         (testing / small graphs only).
-    solver:
-        Reuse an existing solver for the graph (otherwise one is built).
+    operator:
+        Reuse an existing factorized operator for the graph (otherwise one
+        is built).
     """
     rng = as_rng(seed)
     n, m = graph.n, graph.num_edges
@@ -87,21 +92,20 @@ def effective_resistances(
     if jl_dimension is None:
         jl_dimension = min(200, int(math.ceil(24.0 * math.log(max(n, 2)) / epsilon**2)))
     jl_dimension = max(4, jl_dimension)
-    if solver is None:
-        solver = SDDSolver(graph, seed=rng)
+    if operator is None:
+        operator = factorize(graph, seed=rng)
     incidence = graph.incidence_matrix()  # rows scaled by sqrt(w)
-    # Z has shape (jl_dimension, n); row k = L^+ B^T q_k with q_k a random
-    # +-1/sqrt(d) vector over the edges.
-    z_rows = np.empty((jl_dimension, n))
+    # One right-hand side per JL row: column k of RHS is B^T q_k with q_k a
+    # random +-1/sqrt(d) vector over the edges.
     scale = 1.0 / math.sqrt(jl_dimension)
-    for k in range(jl_dimension):
-        q = rng.choice([-1.0, 1.0], size=m) * scale
-        rhs = incidence.T @ q
-        rhs = rhs - rhs.mean()
-        report = solver.solve(rhs, tol=solver_tol)
-        z_rows[k] = report.x
-    diff = z_rows[:, graph.u] - z_rows[:, graph.v]
-    return np.maximum(np.sum(diff**2, axis=0), 1e-15)
+    q = rng.choice([-1.0, 1.0], size=(m, jl_dimension)) * scale
+    rhs = incidence.T @ q  # (n, jl_dimension)
+    rhs = rhs - rhs.mean(axis=0)
+    # Z^T = L^+ B^T Q^T, obtained in one batched multi-RHS solve.
+    report = operator.solve(rhs, tol=solver_tol)
+    z = report.x  # (n, jl_dimension)
+    diff = z[graph.u, :] - z[graph.v, :]
+    return np.maximum(np.sum(diff**2, axis=1), 1e-15)
 
 
 def spectral_sparsify(
@@ -112,6 +116,7 @@ def spectral_sparsify(
     seed: RngLike = None,
     solver_tol: float = 1e-6,
     exact_resistances: bool = False,
+    operator: Optional[LaplacianOperator] = None,
 ) -> SparsifierResult:
     """Build a spectral sparsifier of ``graph`` (Spielman–Srivastava).
 
@@ -124,6 +129,8 @@ def spectral_sparsify(
         ``ceil(9 n log n / eps^2)``.
     exact_resistances:
         Use exact effective resistances (dense; for tests and small graphs).
+    operator:
+        Reuse an existing factorized operator for the resistance estimates.
     """
     rng = as_rng(seed)
     n, m = graph.n, graph.num_edges
@@ -135,6 +142,7 @@ def spectral_sparsify(
         seed=rng,
         solver_tol=solver_tol,
         exact=exact_resistances,
+        operator=operator,
     )
     leverage = graph.w * resistances
     probs = leverage / leverage.sum()

@@ -18,8 +18,16 @@
   (Definition 6.3, Section 6.3).
 * :mod:`~repro.core.chebyshev` — preconditioned Chebyshev iteration
   (Lemma 6.7).
-* :mod:`~repro.core.solver` — the public ``SDDSolver`` / ``sdd_solve`` API
-  (Theorem 1.1).
+* :mod:`~repro.core.config` — frozen ``ChainConfig`` / ``SolverConfig``.
+* :mod:`~repro.core.methods` — pluggable solve-method registry
+  (``pcg`` / ``chebyshev`` / ``jacobi`` / ``direct``).
+* :mod:`~repro.core.operator` — the public ``factorize`` →
+  ``LaplacianOperator.solve`` lifecycle (Theorem 1.1), with batched
+  multi-RHS support.
+* :mod:`~repro.core.chain_cache` — process-level cache of factorized
+  operators keyed by graph fingerprint + config.
+* :mod:`~repro.core.solver` — deprecated ``SDDSolver`` / ``sdd_solve``
+  shims forwarding to the new API.
 """
 
 from repro.core.ball_growing import grow_balls, BallGrowth
@@ -44,7 +52,16 @@ from repro.core.sparsify import incremental_sparsify, SparsifyResult
 from repro.core.elimination import greedy_elimination, EliminationResult
 from repro.core.chain import build_chain, PreconditionerChain, ChainLevel
 from repro.core.chebyshev import chebyshev_apply, estimate_extreme_eigenvalues
-from repro.core.solver import SDDSolver, sdd_solve, SolveReport
+from repro.core.config import ChainConfig, SolverConfig
+from repro.core.methods import available_methods, get_method, register_method, SolveMethod
+from repro.core.operator import factorize, LaplacianOperator, SolveReport
+from repro.core.chain_cache import (
+    chain_cache_stats,
+    clear_chain_cache,
+    set_chain_cache_capacity,
+    ChainCacheStats,
+)
+from repro.core.solver import SDDSolver, sdd_solve
 
 __all__ = [
     "grow_balls",
@@ -76,6 +93,18 @@ __all__ = [
     "ChainLevel",
     "chebyshev_apply",
     "estimate_extreme_eigenvalues",
+    "ChainConfig",
+    "SolverConfig",
+    "available_methods",
+    "get_method",
+    "register_method",
+    "SolveMethod",
+    "factorize",
+    "LaplacianOperator",
+    "chain_cache_stats",
+    "clear_chain_cache",
+    "set_chain_cache_capacity",
+    "ChainCacheStats",
     "SDDSolver",
     "sdd_solve",
     "SolveReport",

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import ChainConfig
 
 import numpy as np
 import scipy.sparse as sp
@@ -119,6 +122,7 @@ def default_bottom_size(num_edges: int, num_vertices: int = 0, minimum: int = 40
 
 def build_chain(
     graph: Graph,
+    config: Optional["ChainConfig"] = None,
     *,
     kappa: float = 25.0,
     lam: int = 2,
@@ -139,6 +143,11 @@ def build_chain(
     ----------
     graph:
         The Laplacian graph ``A_1`` (conductance weights).
+    config:
+        A frozen :class:`~repro.core.config.ChainConfig` bundling every
+        construction parameter.  When given it takes precedence over the
+        individual keyword arguments below (which remain for backwards
+        compatibility).
     kappa:
         Per-level condition parameter ``kappa_i`` (uniform, as in the
         first-attempt analysis of Lemma 6.9).  Roughly ``sqrt(kappa)``
@@ -161,6 +170,16 @@ def build_chain(
     -------
     PreconditionerChain
     """
+    if config is not None:
+        kappa = config.kappa
+        lam = config.lam
+        beta = config.beta
+        bottom_size = config.bottom_size
+        max_levels = config.max_levels
+        oversample = config.oversample
+        use_log_factor = config.use_log_factor
+        reweight = config.reweight
+        use_tree_only = config.use_tree_only
     cost = cost or null_cost()
     rng = as_rng(seed)
     if graph.n == 0:

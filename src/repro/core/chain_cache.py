@@ -1,0 +1,150 @@
+"""Process-level cache of factorized operators (chain reuse across calls).
+
+Building a preconditioner chain is the expensive phase of Theorem 1.1; many
+workloads (the electrical-flow max-flow loop, repeated ``repro.solve`` calls
+against a fixed system) ask for the *same* matrix under the *same*
+configuration again and again.  This module memoizes
+:func:`repro.core.operator.factorize` results in an LRU table keyed by
+
+``(graph fingerprint, ChainConfig, SolverConfig, integer seed)``
+
+A cached entry is only sound when a fresh factorization would be bit-for-bit
+identical, so non-integer seeds (``None`` or generator objects, whose draws
+differ between calls) bypass the cache entirely — :func:`make_key` returns
+``None`` for them.
+
+The cache is intentionally tiny and synchronous: a lock-guarded
+``OrderedDict`` with a bounded capacity.  Use :func:`clear_chain_cache`
+between benchmark phases and :func:`chain_cache_stats` to observe hit rates.
+
+Concurrency caveat: the *table* is lock-guarded, but the cached
+:class:`LaplacianOperator` objects themselves are not thread-safe — a hit
+hands every caller the same operator, whose ``solve`` mutates its private
+cost model (and lazily fills Chebyshev bounds / the dense baseline factor).
+Concurrent solves on one cached operator can interleave those mutations and
+mis-attribute per-solve work/depth deltas; multi-threaded services should
+factorize per thread (``cache=False``) or serialize solves per operator.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.config import ChainConfig, SolverConfig
+from repro.graph.graph import Graph
+
+#: Default capacity of the process-level cache (LRU eviction beyond this).
+DEFAULT_CAPACITY = 32
+
+_lock = threading.Lock()
+_entries: "OrderedDict[Hashable, object]" = OrderedDict()
+_capacity = DEFAULT_CAPACITY
+_hits = 0
+_misses = 0
+
+
+@dataclass(frozen=True)
+class ChainCacheStats:
+    """Counters describing the process-level chain cache."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+
+
+def fingerprint_matrix(matrix) -> Optional[str]:
+    """Content fingerprint of a solver input (graph or SDD matrix).
+
+    Graphs hash their vertex count and edge arrays; sparse/dense matrices
+    hash their CSR structure.  Returns ``None`` for inputs that cannot be
+    fingerprinted.
+    """
+    if isinstance(matrix, Graph):
+        return matrix.fingerprint()
+    try:
+        csr = sp.csr_matrix(matrix)
+    except Exception:
+        return None
+    import hashlib
+
+    h = hashlib.sha256()
+    h.update(np.int64(csr.shape[0]).tobytes())
+    h.update(np.int64(csr.shape[1]).tobytes())
+    h.update(np.ascontiguousarray(csr.indptr, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(csr.indices, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(csr.data, dtype=np.float64).tobytes())
+    return "m:" + h.hexdigest()
+
+
+def make_key(
+    matrix,
+    chain_config: ChainConfig,
+    solver_config: SolverConfig,
+    seed,
+) -> Optional[Tuple]:
+    """Cache key for a factorization request, or ``None`` if uncacheable.
+
+    Only plain integer seeds are cacheable (see the module docstring);
+    booleans are excluded on principle even though they are ``int``.
+    """
+    if not isinstance(seed, (int, np.integer)) or isinstance(seed, bool):
+        return None
+    fp = fingerprint_matrix(matrix)
+    if fp is None:
+        return None
+    return (fp, chain_config.cache_key(), solver_config.cache_key(), int(seed))
+
+
+def lookup(key: Hashable):
+    """Return the cached operator for ``key`` (marking it most-recent), or ``None``."""
+    global _hits, _misses
+    with _lock:
+        entry = _entries.get(key)
+        if entry is None:
+            _misses += 1
+            return None
+        _entries.move_to_end(key)
+        _hits += 1
+        return entry
+
+
+def store(key: Hashable, operator) -> None:
+    """Insert ``operator`` under ``key``, evicting least-recently-used entries."""
+    with _lock:
+        _entries[key] = operator
+        _entries.move_to_end(key)
+        while len(_entries) > _capacity:
+            _entries.popitem(last=False)
+
+
+def clear_chain_cache() -> None:
+    """Drop every cached operator and reset the hit/miss counters."""
+    global _hits, _misses
+    with _lock:
+        _entries.clear()
+        _hits = 0
+        _misses = 0
+
+
+def set_chain_cache_capacity(capacity: int) -> None:
+    """Resize the cache (evicting LRU entries if shrinking)."""
+    global _capacity
+    if capacity < 1:
+        raise ValueError("cache capacity must be >= 1")
+    with _lock:
+        _capacity = int(capacity)
+        while len(_entries) > _capacity:
+            _entries.popitem(last=False)
+
+
+def chain_cache_stats() -> ChainCacheStats:
+    """Current hit/miss/size counters."""
+    with _lock:
+        return ChainCacheStats(hits=_hits, misses=_misses, size=len(_entries), capacity=_capacity)

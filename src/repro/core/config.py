@@ -1,0 +1,142 @@
+"""Frozen configuration objects for the factorize-once / solve-many API.
+
+The solver lifecycle (:func:`repro.core.operator.factorize` followed by
+:meth:`repro.core.operator.LaplacianOperator.solve`) is parameterized by two
+immutable dataclasses instead of the historical 13-keyword constructor:
+
+* :class:`ChainConfig` — everything that shapes the preconditioner chain
+  (Definition 6.3): condition parameter, low-stretch subgraph knobs,
+  termination size, sampling ablations.  Two factorizations with equal
+  ``ChainConfig`` (and equal graph + seed) produce identical chains, which is
+  what makes the process-level chain cache sound.
+* :class:`SolverConfig` — everything that shapes an individual solve: the
+  iteration method (resolved through the :mod:`repro.core.methods` registry),
+  per-level inner iteration budget, and default tolerance/iteration caps.
+
+Both classes are hashable and validated eagerly, so configuration errors
+surface at construction time rather than deep inside a solve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Optional, Tuple
+
+from repro.core.methods import available_methods
+
+
+@dataclass(frozen=True)
+class ChainConfig:
+    """Immutable parameters of preconditioner-chain construction.
+
+    Attributes
+    ----------
+    kappa:
+        Per-level condition parameter ``kappa_i`` (Lemma 6.9's uniform
+        first-attempt setting).  Roughly ``sqrt(kappa)`` inner iterations are
+        spent per level at solve time; larger values shrink the next level
+        more aggressively.
+    lam, beta:
+        Low-stretch subgraph parameters (Theorem 5.9) used inside the
+        incremental sparsification step.
+    bottom_size:
+        Chain termination size; ``None`` selects the practical default of
+        :func:`repro.core.chain.default_bottom_size` (the faithful
+        ``m^(1/3)`` remains available by passing it explicitly).
+    max_levels:
+        Hard cap on the number of chain levels.
+    oversample, use_log_factor, reweight:
+        Sampling knobs forwarded to
+        :func:`repro.core.sparsify.incremental_sparsify`.
+    use_tree_only:
+        Ablation switch (experiment E11): keep only the spanning-tree part of
+        the low-stretch construction.
+    """
+
+    kappa: float = 25.0
+    lam: int = 2
+    beta: float = 6.0
+    bottom_size: Optional[int] = None
+    max_levels: int = 4
+    oversample: float = 1.0
+    use_log_factor: bool = False
+    reweight: bool = False
+    use_tree_only: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.kappa > 1.0:
+            raise ValueError(f"kappa must be > 1 (got {self.kappa})")
+        if int(self.lam) < 1:
+            raise ValueError(f"lam must be a positive integer (got {self.lam})")
+        if not self.beta > 0:
+            raise ValueError(f"beta must be positive (got {self.beta})")
+        if self.bottom_size is not None and int(self.bottom_size) < 1:
+            raise ValueError(f"bottom_size must be >= 1 or None (got {self.bottom_size})")
+        if int(self.max_levels) < 1:
+            raise ValueError(f"max_levels must be >= 1 (got {self.max_levels})")
+        if not self.oversample > 0:
+            raise ValueError(f"oversample must be positive (got {self.oversample})")
+
+    def cache_key(self) -> Tuple:
+        """Hashable identity of this configuration (for the chain cache)."""
+        return tuple(getattr(self, f.name) for f in fields(self))
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Immutable parameters of the iterative solve phase.
+
+    Attributes
+    ----------
+    method:
+        Name of a registered solve method (see
+        :func:`repro.core.methods.available_methods`): ``"pcg"`` (default)
+        and ``"chebyshev"`` use the preconditioner chain; ``"jacobi"`` and
+        ``"direct"`` are the :mod:`repro.linalg` baselines.
+    inner_iterations:
+        Iterations per chain level; ``None`` selects the paper's
+        ``ceil(sqrt(kappa))``.
+    tol:
+        Default relative-residual target of :meth:`LaplacianOperator.solve`
+        (overridable per call).
+    max_iterations:
+        Default cap on outer iterations (overridable per call).
+    """
+
+    method: str = "pcg"
+    inner_iterations: Optional[int] = None
+    tol: float = 1e-8
+    max_iterations: int = 200
+
+    def __post_init__(self) -> None:
+        known = available_methods()
+        if self.method not in known:
+            raise ValueError(
+                f"unknown method {self.method!r}; registered methods: {', '.join(known)}"
+            )
+        if self.inner_iterations is not None and int(self.inner_iterations) < 1:
+            raise ValueError(
+                f"inner_iterations must be >= 1 or None (got {self.inner_iterations})"
+            )
+        if not self.tol > 0:
+            raise ValueError(f"tol must be positive (got {self.tol})")
+        if int(self.max_iterations) < 1:
+            raise ValueError(f"max_iterations must be >= 1 (got {self.max_iterations})")
+
+    def resolve_inner_iterations(self, kappa: float) -> int:
+        """The per-level iteration budget for a chain built with ``kappa``."""
+        if self.inner_iterations is not None:
+            return int(self.inner_iterations)
+        return max(2, int(math.ceil(math.sqrt(float(kappa)))))
+
+    def cache_key(self) -> Tuple:
+        """Hashable identity of this configuration (for the chain cache).
+
+        Only the fields that shape the factorized operator's state
+        (``method`` drives Chebyshev calibration, ``inner_iterations`` the
+        per-level budget) participate; ``tol`` and ``max_iterations`` are
+        per-call defaults that any solve can override, so differing values
+        share one cached factorization.
+        """
+        return (self.method, self.inner_iterations)

@@ -69,11 +69,13 @@ class EliminationResult:
     # solve transfer
     # ------------------------------------------------------------------ #
     def forward_rhs(self, b: np.ndarray) -> np.ndarray:
-        """Transfer a right-hand side to the reduced system.
+        """Transfer right-hand side(s) to the reduced system.
 
-        Returns the reduced right-hand side indexed by the reduced graph's
-        vertex numbering (i.e. position ``i`` corresponds to
-        ``kept_vertices[i]``).
+        Accepts a vector ``(n,)`` or a batch ``(n, k)`` — every elimination
+        step is a row operation, so one traversal of the operation list
+        serves all columns at once.  Returns the reduced right-hand side(s)
+        indexed by the reduced graph's vertex numbering (i.e. position ``i``
+        corresponds to ``kept_vertices[i]``).
         """
         b_full = np.asarray(b, dtype=float).copy()
         for op in self.operations:
@@ -88,7 +90,11 @@ class EliminationResult:
         return b_full[self.kept_vertices]
 
     def backward_solution(self, b: np.ndarray, x_reduced: np.ndarray) -> np.ndarray:
-        """Extend a reduced solution back to all original vertices."""
+        """Extend reduced solution(s) back to all original vertices.
+
+        Shapes mirror :meth:`forward_rhs`: ``b`` may be ``(n,)`` or
+        ``(n, k)`` with ``x_reduced`` shaped to match.
+        """
         b_full = np.asarray(b, dtype=float).copy()
         # Re-run the forward pass: because an eliminated vertex is never a
         # neighbor of a later elimination, its final forwarded value equals
@@ -103,7 +109,7 @@ class EliminationResult:
                 total = w1 + w2
                 b_full[u1] += (w1 / total) * b_full[v]
                 b_full[u2] += (w2 / total) * b_full[v]
-        x = np.zeros(b_full.shape[0], dtype=float)
+        x = np.zeros_like(b_full)
         x[self.kept_vertices] = np.asarray(x_reduced, dtype=float)
         for op in reversed(self.operations):
             if op[0] == "d1":

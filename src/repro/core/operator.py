@@ -1,0 +1,536 @@
+"""The factorize-once / solve-many solver lifecycle (Theorem 1.1).
+
+The paper's headline object is a *reusable* preconditioner chain: building it
+(`IncrementalSparsify` + `GreedyElimination`, Section 6) is the expensive
+near-linear-work phase, after which every solve against the same matrix costs
+only ``~ sqrt(kappa)`` iterations per level.  This module makes that
+lifecycle explicit:
+
+* :func:`factorize` — one-time setup.  Accepts a graph, a graph Laplacian,
+  or a general SDD matrix (reduced via Gremban, Section 2), builds the chain
+  under a frozen :class:`~repro.core.config.ChainConfig`, and returns a
+  :class:`LaplacianOperator`.
+* :class:`LaplacianOperator` — owns the chain, the Gremban reduction, and
+  the per-component null-space projectors (all precomputed at construction),
+  and exposes :meth:`~LaplacianOperator.solve` for ``(n,)`` vectors *and*
+  batched ``(n, k)`` right-hand-side blocks.  Batched solves run the ``k``
+  independent CG recurrences in lockstep
+  (:func:`repro.linalg.cg.batched_conjugate_gradient`), sharing every matvec,
+  elimination transfer, and bottom-level factor application across columns —
+  depth is charged once per iteration rather than once per column, which is
+  exactly the PRAM parallelism the paper claims for independent solves.
+
+The iteration strategy is pluggable through :mod:`repro.core.methods`
+(``pcg``, ``chebyshev``, plus the ``jacobi`` / ``direct`` baselines).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.chain import PreconditionerChain, build_chain
+from repro.core.chebyshev import chebyshev_apply, estimate_extreme_eigenvalues
+from repro.core.config import ChainConfig, SolverConfig
+from repro.core.methods import get_method
+from repro.graph.components import connected_components
+from repro.graph.graph import Graph
+from repro.graph.laplacian import (
+    GrembanReduction,
+    graph_to_laplacian,
+    is_sdd,
+    laplacian_to_graph,
+    sdd_to_laplacian,
+)
+from repro.linalg.cg import batched_conjugate_gradient
+from repro.linalg.direct import laplacian_pseudoinverse
+from repro.linalg.jacobi import jacobi_preconditioner
+from repro.pram.model import CostModel, log2ceil
+from repro.util.rng import RngLike, as_rng
+
+MatrixInput = Union[Graph, sp.spmatrix, np.ndarray]
+
+#: Inner-iteration kinds understood by the chain descent.
+_CHAIN_INNER = ("pcg", "chebyshev")
+
+
+@dataclass
+class SolveReport:
+    """Result of one :meth:`LaplacianOperator.solve` call.
+
+    Attributes
+    ----------
+    x:
+        The approximate solution of the *original* system — shape ``(n,)``
+        for a vector right-hand side, ``(n, k)`` for a batched one.
+    iterations:
+        Outer (top-level) iterations; for a batch, the maximum over columns.
+    relative_residual:
+        Final relative 2-norm residual of the original system; for a batch,
+        the maximum over columns.
+    converged:
+        Whether the tolerance was met (every column, for a batch).
+    work:
+        Machine-independent work charged during the solve (operation counts
+        in the PRAM cost model).
+    depth:
+        Depth charged during the solve.  Batched columns run in lockstep, so
+        this does **not** scale with the batch width.
+    stats:
+        Additional diagnostics (chain depth, batch width, setup cost, ...).
+    column_iterations, column_residuals, column_converged:
+        Per-column diagnostics for batched solves (``None`` for vector
+        right-hand sides).
+    """
+
+    x: np.ndarray
+    iterations: int
+    relative_residual: float
+    converged: bool
+    work: float
+    depth: float
+    stats: Dict[str, float] = field(default_factory=dict)
+    column_iterations: Optional[np.ndarray] = None
+    column_residuals: Optional[np.ndarray] = None
+    column_converged: Optional[np.ndarray] = None
+
+
+class _ComponentProjector:
+    """Removal of the per-connected-component mean (Laplacian null space).
+
+    Built once per graph at factorization time; applies to ``(n,)`` vectors
+    and ``(n, k)`` blocks alike.  This sits on the solver's hottest path
+    (twice per outer iteration plus once per chain level per preconditioner
+    application), so the common connected case reduces to a plain mean and
+    the multi-component case uses a precomputed sparse accumulator instead
+    of an unbuffered scatter-add.
+    """
+
+    __slots__ = ("labels", "counts", "_single", "_accumulator")
+
+    def __init__(self, labels: np.ndarray) -> None:
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.counts = np.bincount(self.labels).astype(float)
+        self._single = self.counts.shape[0] <= 1
+        if self._single:
+            self._accumulator = None
+        else:
+            n = self.labels.shape[0]
+            self._accumulator = sp.csr_matrix(
+                (np.ones(n), (self.labels, np.arange(n))),
+                shape=(self.counts.shape[0], n),
+            )
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=float)
+        if self._single:
+            return v - v.mean(axis=0)
+        sums = self._accumulator @ v
+        if v.ndim == 1:
+            return v - (sums / self.counts)[self.labels]
+        return v - (sums / self.counts[:, None])[self.labels]
+
+
+class LaplacianOperator:
+    """A factorized SDD system supporting repeated (batched) solves.
+
+    Instances are produced by :func:`factorize`; the constructor wires every
+    piece of per-solve state — null-space projectors for the top level and
+    for each chain level, the top-level preconditioner entry point, and the
+    Chebyshev bound slots — so :meth:`solve` allocates nothing but iterate
+    vectors (this replaces the per-call conditional lambda and the hidden
+    ``_proj_cache`` lazy-init of the deprecated ``SDDSolver``).
+    """
+
+    def __init__(
+        self,
+        *,
+        graph: Graph,
+        chain: PreconditionerChain,
+        chain_config: ChainConfig,
+        solver_config: SolverConfig,
+        reduction: Optional[GrembanReduction],
+        original: Optional[sp.spmatrix],
+        original_n: int,
+        rng: np.random.Generator,
+        cost: CostModel,
+    ) -> None:
+        self.graph = graph
+        self.chain = chain
+        self.chain_config = chain_config
+        self.solver_config = solver_config
+        self.reduction = reduction
+        self._original = original
+        self._original_n = int(original_n)
+        self.cost = cost
+        self._rng = rng
+        self.laplacian = graph_to_laplacian(graph)
+        self.inner_iterations = solver_config.resolve_inner_iterations(chain_config.kappa)
+
+        # Null-space projectors, hoisted into construction-time state: one
+        # for the (possibly Gremban-expanded) top-level graph and one per
+        # chain level.
+        _, labels = connected_components(graph)
+        self._projector = _ComponentProjector(labels)
+        self._level_projectors: List[_ComponentProjector] = []
+        for level in chain.levels:
+            _, lvl_labels = connected_components(level.graph)
+            self._level_projectors.append(_ComponentProjector(lvl_labels))
+
+        # Per-(inner-kind, level) preconditioner closures, and the top-level
+        # entry point, all chosen once here instead of per solve call.
+        self._level_preconditioners: Dict[str, List[Callable[[np.ndarray], np.ndarray]]] = {}
+        self._top_preconditioners: Dict[str, Callable[[np.ndarray], np.ndarray]] = {}
+        for inner in _CHAIN_INNER:
+            self._level_preconditioners[inner] = [
+                (lambda r, i=i, inner=inner: self._apply_preconditioner(i, r, inner))
+                for i in range(chain.depth - 1)
+            ]
+            if chain.depth > 1:
+                self._top_preconditioners[inner] = self._level_preconditioners[inner][0]
+            else:
+                self._top_preconditioners[inner] = self._solve_bottom
+
+        # Chebyshev bounds (Lemma 6.7) — calibrated eagerly when the
+        # configured method is "chebyshev", on demand otherwise.
+        self._chebyshev_bounds: List[Optional[Tuple[float, float]]] = [None] * chain.depth
+        self._chebyshev_ready = False
+        # Dense pseudo-inverse for the "direct" baseline method (declared
+        # here, filled on first use).
+        self._dense_pinv: Optional[np.ndarray] = None
+        self._jacobi_apply: Optional[Callable[[np.ndarray], np.ndarray]] = None
+
+        self.setup_work = cost.work
+        self.setup_depth = cost.depth
+        if solver_config.method == "chebyshev":
+            self.ensure_chebyshev_bounds()
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Dimension of the original system (before Gremban reduction)."""
+        return self._original_n
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self._original_n, self._original_n)
+
+    @property
+    def depth(self) -> int:
+        """Number of preconditioner-chain levels."""
+        return self.chain.depth
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply the *original* matrix to ``x`` (vector or ``(n, k)`` block)."""
+        return self.original_matrix() @ np.asarray(x, dtype=float)
+
+    def original_matrix(self) -> sp.spmatrix:
+        """The matrix this operator solves against (pre-reduction)."""
+        if self._original is not None:
+            return self._original
+        return self.laplacian
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LaplacianOperator(n={self._original_n}, levels={self.chain.depth}, "
+            f"method={self.solver_config.method!r})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # hooks used by the method registry
+    # ------------------------------------------------------------------ #
+    def chain_preconditioner(self, inner: str) -> Callable[[np.ndarray], np.ndarray]:
+        """Top-level preconditioner entry (chain descent or bottom solve)."""
+        return self._top_preconditioners[inner]
+
+    def charge_outer_iteration(self, active_columns: int) -> None:
+        """Charge one outer iteration over ``active_columns`` columns."""
+        self.cost.charge(
+            work=float(max(self.laplacian.nnz, 1)) * active_columns,
+            depth=log2ceil(self.graph.n),
+        )
+
+    def jacobi_preconditioner(self) -> Callable[[np.ndarray], np.ndarray]:
+        """Diagonal preconditioner of the (reduced) Laplacian (baseline)."""
+        if self._jacobi_apply is None:
+            self._jacobi_apply = jacobi_preconditioner(self.laplacian)
+        return self._jacobi_apply
+
+    def dense_pseudoinverse(self) -> np.ndarray:
+        """Dense pseudo-inverse of the (reduced) Laplacian (baseline)."""
+        if self._dense_pinv is None:
+            self._dense_pinv = laplacian_pseudoinverse(self.laplacian)
+            self.cost.charge(work=float(self.graph.n) ** 3, depth=float(self.graph.n))
+        return self._dense_pinv
+
+    def ensure_chebyshev_bounds(self) -> None:
+        """Estimate per-level spectral bounds of the preconditioned systems."""
+        if self._chebyshev_ready:
+            return
+        for i in range(self.chain.depth - 1):
+            level = self.chain.levels[i]
+            lo, hi = estimate_extreme_eigenvalues(
+                lambda v, lap=level.laplacian: lap @ v,
+                self._level_preconditioners["chebyshev"][i],
+                level.num_vertices,
+                seed=self._rng,
+                project=self._level_projectors[i],
+            )
+            self._chebyshev_bounds[i] = (lo, hi)
+        self._chebyshev_ready = True
+
+    # ------------------------------------------------------------------ #
+    # recursive preconditioner (batched)
+    # ------------------------------------------------------------------ #
+    def _solve_bottom(self, b: np.ndarray) -> np.ndarray:
+        pinv = self.chain.bottom_pseudoinverse
+        n_d = pinv.shape[0]
+        width = b.shape[1] if b.ndim == 2 else 1
+        self.cost.charge(work=float(n_d) ** 2 * width, depth=math.log2(max(n_d, 2)))
+        return pinv @ np.asarray(b, dtype=float)
+
+    def _apply_preconditioner(self, level_index: int, r: np.ndarray, inner: str) -> np.ndarray:
+        """Approximate ``B_i^+ r`` via elimination transfer + recursive solve."""
+        r = np.asarray(r, dtype=float)
+        if r.ndim == 1:
+            return self._apply_preconditioner(level_index, r[:, None], inner)[:, 0]
+        level = self.chain.levels[level_index]
+        assert level.elimination is not None
+        elim = level.elimination
+        width = r.shape[1]
+        transfer_work = float(len(elim.operations) + 1) * width
+        r_reduced = elim.forward_rhs(r)
+        self.cost.charge(work=transfer_work, depth=1.0)
+        x_reduced = self._solve_level(level_index + 1, r_reduced, inner)
+        x = elim.backward_solution(r, x_reduced)
+        self.cost.charge(work=transfer_work, depth=1.0)
+        return x
+
+    def _solve_level(self, level_index: int, b: np.ndarray, inner: str) -> np.ndarray:
+        """Approximately solve ``A_i x = b`` with the fixed per-level budget."""
+        if level_index >= self.chain.depth - 1:
+            return self._solve_bottom(b)
+        level = self.chain.levels[level_index]
+        lap = level.laplacian
+        project = self._level_projectors[level_index]
+        b = project(b)
+        preconditioner = self._level_preconditioners[inner][level_index]
+        iters = self.inner_iterations
+        width = b.shape[1] if b.ndim == 2 else 1
+        self.cost.charge(
+            work=float(iters) * max(lap.nnz, 1) * width,
+            depth=float(iters) * math.log2(max(level.num_vertices, 2)),
+        )
+        if inner == "chebyshev" and self._chebyshev_bounds[level_index] is not None:
+            lo, hi = self._chebyshev_bounds[level_index]
+            return chebyshev_apply(
+                lambda v: lap @ v,
+                preconditioner,
+                b,
+                lambda_min=lo,
+                lambda_max=hi,
+                iterations=iters,
+                project=project,
+            )
+        result = batched_conjugate_gradient(
+            lap,
+            b,
+            preconditioner=preconditioner,
+            fixed_iterations=iters,
+        )
+        x = result.x[:, 0] if b.ndim == 1 else result.x
+        return project(x)
+
+    # ------------------------------------------------------------------ #
+    # public solve
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        b: np.ndarray,
+        *,
+        tol: Optional[float] = None,
+        max_iterations: Optional[int] = None,
+        method: Optional[str] = None,
+    ) -> SolveReport:
+        """Solve the original system for one or many right-hand sides.
+
+        Parameters
+        ----------
+        b:
+            Right-hand side(s): shape ``(n,)`` for a single solve or
+            ``(n, k)`` for ``k`` simultaneous solves sharing the factorized
+            chain.  For pure Laplacian inputs each column is projected onto
+            the range (per-component zero sum).
+        tol:
+            Relative 2-norm residual target; defaults to the
+            :class:`SolverConfig` value.
+        max_iterations:
+            Cap on outer iterations; defaults to the :class:`SolverConfig`
+            value.
+        method:
+            Optional per-call override of the configured solve method (a
+            name registered in :mod:`repro.core.methods`).
+        """
+        b = np.asarray(b, dtype=float)
+        if b.ndim not in (1, 2):
+            raise ValueError("b must be a vector (n,) or a batch (n, k)")
+        if b.shape[0] != self._original_n:
+            raise ValueError(f"b must have length {self._original_n}")
+        single = b.ndim == 1
+        rhs_block = b[:, None] if single else b
+        width = rhs_block.shape[1]
+        if width == 0:
+            raise ValueError("batched right-hand side must have at least one column")
+
+        cfg = self.solver_config
+        tol = cfg.tol if tol is None else float(tol)
+        max_iterations = cfg.max_iterations if max_iterations is None else int(max_iterations)
+        spec = get_method(cfg.method if method is None else method)
+
+        work_before = self.cost.work
+        depth_before = self.cost.depth
+
+        if self.reduction is not None and not self.reduction.trivial:
+            rhs = self.reduction.expand_rhs(rhs_block)
+        else:
+            rhs = rhs_block
+        rhs = self._projector(rhs)
+
+        result = spec.run(self, rhs, tol, max_iterations)
+        x = self._projector(result.x)
+
+        if self.reduction is not None and not self.reduction.trivial:
+            x_out = self.reduction.restrict_solution(x)
+            residual = np.linalg.norm(rhs_block - (self.original_matrix() @ x_out), axis=0)
+            denom = np.linalg.norm(rhs_block, axis=0)
+            rel = np.where(denom > 0, residual / np.where(denom > 0, denom, 1.0), residual)
+        else:
+            x_out = x
+            rel = result.residuals
+
+        report = SolveReport(
+            x=x_out[:, 0] if single else x_out,
+            iterations=int(result.iterations.max(initial=0)),
+            relative_residual=float(rel.max(initial=0.0)),
+            converged=bool(result.converged.all()),
+            work=self.cost.work - work_before,
+            depth=self.cost.depth - depth_before,
+            stats={
+                "chain_levels": float(self.chain.depth),
+                "inner_iterations": float(self.inner_iterations),
+                "setup_work": self.setup_work,
+                "setup_depth": self.setup_depth,
+                "batch_width": float(width),
+            },
+            column_iterations=None if single else result.iterations.copy(),
+            column_residuals=None if single else np.asarray(rel, dtype=float).copy(),
+            column_converged=None if single else result.converged.copy(),
+        )
+        return report
+
+
+def factorize(
+    matrix: MatrixInput,
+    chain: Optional[ChainConfig] = None,
+    solver: Optional[SolverConfig] = None,
+    *,
+    seed: RngLike = None,
+    cost: Optional[CostModel] = None,
+    cache: bool = False,
+) -> LaplacianOperator:
+    """Build a reusable :class:`LaplacianOperator` for ``matrix``.
+
+    This is the expensive phase of Theorem 1.1 (near-linear work, polylog
+    depth); the returned operator amortizes it over arbitrarily many
+    :meth:`~LaplacianOperator.solve` calls.
+
+    Parameters
+    ----------
+    matrix:
+        A :class:`~repro.graph.graph.Graph` (solve its Laplacian), a graph
+        Laplacian, or a general SDD matrix (``scipy.sparse`` / dense array;
+        reduced to a Laplacian with the Gremban reduction).
+    chain, solver:
+        Frozen configuration objects; ``None`` selects the defaults.
+    seed:
+        RNG seed controlling every randomized component of the setup.
+    cost:
+        Optional cost model; defaults to a fresh enabled :class:`CostModel`
+        so setup/solve work and depth are always meaningful.
+    cache:
+        Consult and populate the process-level chain cache
+        (:mod:`repro.core.chain_cache`).  Only integer-seeded
+        factorizations are cacheable — with a generator or ``None`` seed two
+        calls are not reproducibly identical, so the cache is bypassed.
+
+    Examples
+    --------
+    >>> from repro.graph import generators
+    >>> from repro.core.operator import factorize
+    >>> import numpy as np
+    >>> g = generators.grid_2d(20, 20)
+    >>> op = factorize(g, seed=0)
+    >>> b = np.zeros((g.n, 2)); b[0] = 1.0; b[-1] = -1.0
+    >>> report = op.solve(b, tol=1e-8)
+    >>> report.converged
+    True
+    """
+    from repro.core import chain_cache  # late import: cache stores operators
+
+    chain_config = chain if chain is not None else ChainConfig()
+    solver_config = solver if solver is not None else SolverConfig()
+
+    key = None
+    if cache:
+        key = chain_cache.make_key(matrix, chain_config, solver_config, seed)
+        if key is not None:
+            hit = chain_cache.lookup(key)
+            if hit is not None:
+                # No setup work happens on a hit — that is the point of the
+                # cache — so nothing is charged to a caller-supplied model.
+                return hit
+
+    # A cacheable operator is shared between future callers, so it must not
+    # capture this caller's cost model — it accounts into a private model
+    # and the setup charges are mirrored to the caller below.
+    shared = key is not None
+    model = CostModel() if (shared or cost is None) else cost
+    rng = as_rng(seed)
+
+    reduction: Optional[GrembanReduction] = None
+    original: Optional[sp.spmatrix] = None
+    if isinstance(matrix, Graph):
+        graph = matrix
+        original_n = matrix.n
+    else:
+        mat = sp.csr_matrix(matrix)
+        if not is_sdd(mat):
+            raise ValueError("input matrix is not symmetric diagonally dominant")
+        reduction = sdd_to_laplacian(mat)
+        original_n = mat.shape[0]
+        original = mat
+        graph = laplacian_to_graph(reduction.laplacian)
+
+    built = build_chain(graph, config=chain_config, seed=rng, cost=model)
+    operator = LaplacianOperator(
+        graph=graph,
+        chain=built,
+        chain_config=chain_config,
+        solver_config=solver_config,
+        reduction=reduction,
+        original=original,
+        original_n=original_n,
+        rng=rng,
+        cost=model,
+    )
+    if key is not None:
+        chain_cache.store(key, operator)
+        if cost is not None:
+            cost.charge(work=operator.setup_work, depth=operator.setup_depth)
+    return operator

@@ -1,115 +1,63 @@
-"""The parallel SDD solver (Theorem 1.1): public API.
+"""Deprecated one-shot solver API (kept as thin shims).
 
-``SDDSolver`` accepts either a weighted graph (interpreted as its Laplacian)
-or a general SDD matrix.  SDD inputs are reduced to a Laplacian with the
-Gremban reduction (Section 2); Laplacian systems are solved with the
-recursive preconditioner-chain solver of Section 6:
+The public solver interface moved to the factorize-once / solve-many
+lifecycle of :mod:`repro.core.operator`:
 
-* a chain ``<A_1, B_1, A_2, ..., A_d>`` is built by
-  :func:`repro.core.chain.build_chain`;
-* applying the preconditioner ``B_i`` means: partially Cholesky-eliminate
-  (``GreedyElimination`` transfer), recursively solve on ``A_{i+1}``, and
-  back-substitute;
-* each level runs ``~ sqrt(kappa_i)`` inner iterations (preconditioned CG by
-  default; preconditioned Chebyshev — the paper's choice, which needs
-  eigenvalue bounds — is available via ``method="chebyshev"``);
-* the bottom level is solved with a dense pseudo-inverse (Fact 6.4), which
-  is why the chain terminates at ``~ m^(1/3)`` vertices.
+* :func:`repro.core.operator.factorize` builds a reusable
+  :class:`~repro.core.operator.LaplacianOperator` under frozen
+  :class:`~repro.core.config.ChainConfig` / ``SolverConfig`` objects;
+* :meth:`LaplacianOperator.solve` accepts single ``(n,)`` and batched
+  ``(n, k)`` right-hand sides;
+* :func:`repro.solve` is the one-call facade (with an optional process-level
+  chain cache).
 
-The top level iterates until the requested tolerance, giving the
-``log(1/eps)`` factor of Theorem 1.1.
+``SDDSolver`` and ``sdd_solve`` remain as deprecated wrappers that forward
+to the new API — they construct the equivalent config objects, consume the
+seed in the same order, and therefore produce *identical* ``SolveReport``
+fields for a fixed seed.  They emit :class:`DeprecationWarning` and will be
+removed once every caller has migrated.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+import warnings
+from dataclasses import fields as dataclass_fields
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.chain import PreconditionerChain, build_chain
-from repro.core.chebyshev import chebyshev_apply, estimate_extreme_eigenvalues
-from repro.graph.components import connected_components
+from repro.core.chain import PreconditionerChain
+from repro.core.config import ChainConfig, SolverConfig
+from repro.core.operator import LaplacianOperator, SolveReport, factorize
 from repro.graph.graph import Graph
-from repro.graph.laplacian import (
-    GrembanReduction,
-    graph_to_laplacian,
-    is_sdd,
-    laplacian_to_graph,
-    sdd_to_laplacian,
-)
-from repro.linalg.cg import conjugate_gradient
+from repro.graph.laplacian import GrembanReduction
 from repro.pram.model import CostModel
-from repro.pram.primitives import charge_map
-from repro.util.rng import RngLike, as_rng
+from repro.util.rng import RngLike
+
+__all__ = ["SDDSolver", "sdd_solve", "SolveReport"]
+
+_CHAIN_FIELDS = tuple(f.name for f in dataclass_fields(ChainConfig))
+_SOLVER_FIELDS = tuple(f.name for f in dataclass_fields(SolverConfig))
 
 
-@dataclass
-class SolveReport:
-    """Result of one :meth:`SDDSolver.solve` call.
-
-    Attributes
-    ----------
-    x:
-        The approximate solution of the *original* system.
-    iterations:
-        Outer (top-level) iterations.
-    relative_residual:
-        Final relative 2-norm residual of the original system.
-    converged:
-        Whether the tolerance was met.
-    work:
-        Machine-independent work charged during the solve (operation counts
-        in the PRAM cost model).
-    depth:
-        Depth charged during the solve.
-    stats:
-        Additional diagnostics (per-level iteration counts etc.).
-    """
-
-    x: np.ndarray
-    iterations: int
-    relative_residual: float
-    converged: bool
-    work: float
-    depth: float
-    stats: Dict[str, float] = field(default_factory=dict)
+def _split_legacy_kwargs(kwargs: Dict) -> Tuple[ChainConfig, SolverConfig]:
+    """Map the historical keyword sprawl onto the frozen config objects."""
+    chain_kwargs = {k: kwargs.pop(k) for k in list(kwargs) if k in _CHAIN_FIELDS}
+    solver_kwargs = {k: kwargs.pop(k) for k in list(kwargs) if k in _SOLVER_FIELDS}
+    if kwargs:
+        unknown = ", ".join(sorted(kwargs))
+        raise TypeError(f"unknown solver argument(s): {unknown}")
+    return ChainConfig(**chain_kwargs), SolverConfig(**solver_kwargs)
 
 
 class SDDSolver:
-    """Near linear-work solver for SDD / Laplacian systems (Theorem 1.1).
+    """Deprecated: use :func:`repro.factorize` / :func:`repro.solve`.
 
-    Parameters
-    ----------
-    matrix:
-        A :class:`~repro.graph.graph.Graph` (solve its Laplacian), a graph
-        Laplacian, or a general SDD matrix (``scipy.sparse``).
-    kappa, lam, beta, bottom_size, use_tree_only:
-        Chain construction parameters (see
-        :func:`repro.core.chain.build_chain`).
-    method:
-        ``"pcg"`` (default) or ``"chebyshev"`` for the inner per-level
-        iteration.
-    inner_iterations:
-        Iterations per level; defaults to ``ceil(sqrt(kappa))``.
-    seed:
-        RNG seed controlling every randomized component.
-    cost:
-        Optional cost model; setup and solve work/depth are charged to it.
-
-    Examples
-    --------
-    >>> from repro.graph import generators
-    >>> from repro.core.solver import SDDSolver
-    >>> import numpy as np
-    >>> g = generators.grid_2d(20, 20)
-    >>> solver = SDDSolver(g, seed=0)
-    >>> b = np.zeros(g.n); b[0], b[-1] = 1.0, -1.0
-    >>> report = solver.solve(b, tol=1e-8)
-    >>> report.converged
-    True
+    Thin wrapper around a :class:`~repro.core.operator.LaplacianOperator`
+    that preserves the historical constructor keywords and attributes
+    (``chain``, ``cost``, ``setup_work``, ...).  Behaviour is identical to
+    the new API for a fixed seed.
     """
 
     def __init__(
@@ -130,42 +78,14 @@ class SDDSolver:
         seed: RngLike = None,
         cost: Optional[CostModel] = None,
     ) -> None:
-        if method not in ("pcg", "chebyshev"):
-            raise ValueError("method must be 'pcg' or 'chebyshev'")
-        # Default to a real (enabled) cost model so SolveReport.work / .depth
-        # are always meaningful even when the caller does not care.
-        self.cost = cost if cost is not None else CostModel()
-        self.method = method
-        self._rng = as_rng(seed)
-        self.reduction: Optional[GrembanReduction] = None
-
-        if isinstance(matrix, Graph):
-            self.graph = matrix
-            self._original_n = matrix.n
-            self._original = None
-        else:
-            mat = sp.csr_matrix(matrix)
-            if not is_sdd(mat):
-                raise ValueError("input matrix is not symmetric diagonally dominant")
-            self.reduction = sdd_to_laplacian(mat)
-            self._original_n = mat.shape[0]
-            self._original = mat
-            self.graph = laplacian_to_graph(self.reduction.laplacian)
-        self.laplacian = graph_to_laplacian(self.graph)
-
-        # Null-space handling: per-connected-component mean removal.
-        _, comp_labels = connected_components(self.graph)
-        self._components = comp_labels
-        self._comp_counts = np.bincount(comp_labels).astype(float)
-
-        self.kappa = float(kappa)
-        self.inner_iterations = (
-            int(inner_iterations)
-            if inner_iterations is not None
-            else max(2, int(math.ceil(math.sqrt(self.kappa))))
+        warnings.warn(
+            "SDDSolver is deprecated; use repro.factorize(matrix, ChainConfig(...), "
+            "SolverConfig(...)) and the returned operator's solve(), or the "
+            "repro.solve() facade",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.chain: PreconditionerChain = build_chain(
-            self.graph,
+        chain_config = ChainConfig(
             kappa=kappa,
             lam=lam,
             beta=beta,
@@ -175,117 +95,58 @@ class SDDSolver:
             use_log_factor=use_log_factor,
             reweight=reweight,
             use_tree_only=use_tree_only,
-            seed=self._rng,
-            cost=self.cost,
         )
-        self.setup_work = self.cost.work
-        self.setup_depth = self.cost.depth
-        self._chebyshev_bounds: List[Optional[tuple]] = [None] * self.chain.depth
-        if method == "chebyshev":
-            self._calibrate_chebyshev()
+        solver_config = SolverConfig(method=method, inner_iterations=inner_iterations)
+        self._operator = factorize(matrix, chain_config, solver_config, seed=seed, cost=cost)
 
     # ------------------------------------------------------------------ #
-    # projections
+    # historical attribute surface
     # ------------------------------------------------------------------ #
-    def _project(self, v: np.ndarray) -> np.ndarray:
-        """Remove the per-component mean (Laplacian null space)."""
-        v = np.asarray(v, dtype=float)
-        sums = np.bincount(self._components, weights=v, minlength=self._comp_counts.shape[0])
-        means = sums / self._comp_counts
-        return v - means[self._components]
+    @property
+    def operator(self) -> LaplacianOperator:
+        """The underlying factorized operator (migration escape hatch)."""
+        return self._operator
 
-    @staticmethod
-    def _project_for(graph_components: np.ndarray, counts: np.ndarray, v: np.ndarray) -> np.ndarray:
-        sums = np.bincount(graph_components, weights=v, minlength=counts.shape[0])
-        return v - (sums / counts)[graph_components]
+    @property
+    def chain(self) -> PreconditionerChain:
+        return self._operator.chain
 
-    # ------------------------------------------------------------------ #
-    # recursive preconditioner
-    # ------------------------------------------------------------------ #
-    def _level_projector(self, level_index: int):
-        graph = self.chain.levels[level_index].graph
-        key = f"_proj_{level_index}"
-        cache = getattr(self, "_proj_cache", None)
-        if cache is None:
-            cache = {}
-            self._proj_cache = cache
-        if key not in cache:
-            _, labels = connected_components(graph)
-            counts = np.bincount(labels).astype(float)
-            cache[key] = (labels, counts)
-        labels, counts = cache[key]
-        return lambda v: self._project_for(labels, counts, np.asarray(v, dtype=float))
+    @property
+    def cost(self) -> CostModel:
+        return self._operator.cost
 
-    def _solve_bottom(self, b: np.ndarray) -> np.ndarray:
-        pinv = self.chain.bottom_pseudoinverse
-        n_d = pinv.shape[0]
-        self.cost.charge(work=float(n_d) ** 2, depth=math.log2(max(n_d, 2)))
-        return pinv @ np.asarray(b, dtype=float)
+    @property
+    def graph(self) -> Graph:
+        return self._operator.graph
 
-    def _apply_preconditioner(self, level_index: int, r: np.ndarray) -> np.ndarray:
-        """Approximate ``B_i^+ r`` via elimination transfer + recursive solve."""
-        level = self.chain.levels[level_index]
-        assert level.elimination is not None
-        elim = level.elimination
-        r_reduced = elim.forward_rhs(r)
-        charge_map(self.cost, len(elim.operations) + 1)
-        x_reduced = self._solve_level(level_index + 1, r_reduced)
-        x = elim.backward_solution(r, x_reduced)
-        charge_map(self.cost, len(elim.operations) + 1)
-        return x
+    @property
+    def laplacian(self) -> sp.csr_matrix:
+        return self._operator.laplacian
 
-    def _solve_level(self, level_index: int, b: np.ndarray) -> np.ndarray:
-        """Approximately solve ``A_i x = b`` with the fixed per-level budget."""
-        if level_index >= self.chain.depth - 1:
-            return self._solve_bottom(b)
-        level = self.chain.levels[level_index]
-        lap = level.laplacian
-        project = self._level_projector(level_index)
-        b = project(b)
-        preconditioner = lambda r: self._apply_preconditioner(level_index, r)
-        iters = self.inner_iterations
-        self.cost.charge(
-            work=float(iters) * max(lap.nnz, 1),
-            depth=float(iters) * math.log2(max(level.num_vertices, 2)),
-        )
-        if self.method == "chebyshev" and self._chebyshev_bounds[level_index] is not None:
-            lo, hi = self._chebyshev_bounds[level_index]
-            return chebyshev_apply(
-                lambda v: lap @ v,
-                preconditioner,
-                b,
-                lambda_min=lo,
-                lambda_max=hi,
-                iterations=iters,
-                project=project,
-            )
-        result = conjugate_gradient(
-            lap,
-            b,
-            preconditioner=preconditioner,
-            fixed_iterations=iters,
-            project_nullspace=False,
-            x0=None,
-        )
-        return project(result.x)
+    @property
+    def reduction(self) -> Optional[GrembanReduction]:
+        return self._operator.reduction
 
-    def _calibrate_chebyshev(self) -> None:
-        """Estimate per-level spectral bounds of the preconditioned systems."""
-        for i in range(self.chain.depth - 1):
-            level = self.chain.levels[i]
-            project = self._level_projector(i)
-            lo, hi = estimate_extreme_eigenvalues(
-                lambda v, lap=level.laplacian: lap @ v,
-                lambda r, idx=i: self._apply_preconditioner(idx, r),
-                level.num_vertices,
-                seed=self._rng,
-                project=project,
-            )
-            self._chebyshev_bounds[i] = (lo, hi)
+    @property
+    def method(self) -> str:
+        return self._operator.solver_config.method
 
-    # ------------------------------------------------------------------ #
-    # public solve
-    # ------------------------------------------------------------------ #
+    @property
+    def inner_iterations(self) -> int:
+        return self._operator.inner_iterations
+
+    @property
+    def kappa(self) -> float:
+        return self._operator.chain_config.kappa
+
+    @property
+    def setup_work(self) -> float:
+        return self._operator.setup_work
+
+    @property
+    def setup_depth(self) -> float:
+        return self._operator.setup_depth
+
     def solve(
         self,
         b: np.ndarray,
@@ -295,68 +156,12 @@ class SDDSolver:
     ) -> SolveReport:
         """Solve the original system to relative residual ``tol``.
 
-        Parameters
-        ----------
-        b:
-            Right-hand side of the original system.  For pure Laplacian
-            inputs it is projected onto the range (per-component zero sum).
-        tol:
-            Relative 2-norm residual target (plays the role of ``eps`` in
-            Theorem 1.1; the A-norm guarantee is measured in the tests and
-            benchmarks).
-        max_iterations:
-            Cap on outer iterations.
+        The historical API flattened ``b`` (accepting e.g. ``(n, 1)``
+        columns); that behaviour is preserved here — batched right-hand
+        sides are a feature of the new :meth:`LaplacianOperator.solve`.
         """
         b = np.asarray(b, dtype=float).ravel()
-        if b.shape[0] != self._original_n:
-            raise ValueError(f"b must have length {self._original_n}")
-        work_before = self.cost.work
-        depth_before = self.cost.depth
-
-        if self.reduction is not None and not self.reduction.trivial:
-            rhs = self.reduction.expand_rhs(b)
-        else:
-            rhs = b
-        rhs = self._project(rhs)
-
-        preconditioner = lambda r: self._apply_preconditioner(0, r) if self.chain.depth > 1 else self._solve_bottom(r)
-        result = conjugate_gradient(
-            self.laplacian,
-            rhs,
-            tol=tol,
-            max_iterations=max_iterations,
-            preconditioner=preconditioner,
-            project_nullspace=False,
-        )
-        x = self._project(result.x)
-        if self.reduction is not None and not self.reduction.trivial:
-            x_out = self.reduction.restrict_solution(x)
-            residual = float(np.linalg.norm(b - (sp.csr_matrix(self._original_matrix()) @ x_out)))
-            denom = float(np.linalg.norm(b))
-            rel = residual / denom if denom else residual
-        else:
-            x_out = x
-            rel = result.residual_norms[-1] if result.residual_norms else 0.0
-
-        return SolveReport(
-            x=x_out,
-            iterations=result.iterations,
-            relative_residual=float(rel),
-            converged=bool(result.converged),
-            work=self.cost.work - work_before,
-            depth=self.cost.depth - depth_before,
-            stats={
-                "chain_levels": float(self.chain.depth),
-                "inner_iterations": float(self.inner_iterations),
-                "setup_work": self.setup_work,
-                "setup_depth": self.setup_depth,
-            },
-        )
-
-    def _original_matrix(self) -> sp.spmatrix:
-        if self._original is not None:
-            return self._original
-        return self.laplacian
+        return self._operator.solve(b, tol=tol, max_iterations=max_iterations)
 
 
 def sdd_solve(
@@ -368,9 +173,18 @@ def sdd_solve(
     cost: Optional[CostModel] = None,
     **solver_kwargs,
 ) -> SolveReport:
-    """One-shot convenience wrapper: build an :class:`SDDSolver` and solve.
+    """Deprecated one-shot wrapper: factorize and solve in a single call.
 
-    See :class:`SDDSolver` for the keyword arguments.
+    Use :func:`repro.solve` instead (same shape, plus chain caching and
+    batched right-hand sides).
     """
-    solver = SDDSolver(matrix, seed=seed, cost=cost, **solver_kwargs)
-    return solver.solve(b, tol=tol)
+    warnings.warn(
+        "sdd_solve is deprecated; use repro.solve(matrix, b, ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    max_iterations = solver_kwargs.pop("max_iterations", 200)
+    chain_config, solver_config = _split_legacy_kwargs(solver_kwargs)
+    operator = factorize(matrix, chain_config, solver_config, seed=seed, cost=cost)
+    b = np.asarray(b, dtype=float).ravel()
+    return operator.solve(b, tol=tol, max_iterations=max_iterations)

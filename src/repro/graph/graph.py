@@ -38,7 +38,7 @@ class Graph:
       weights.
     """
 
-    __slots__ = ("n", "u", "v", "w", "_adj")
+    __slots__ = ("n", "u", "v", "w", "_adj", "_fingerprint")
 
     def __init__(
         self,
@@ -68,6 +68,7 @@ class Graph:
             if np.any(self.w <= 0):
                 raise ValueError("edge weights must be positive")
         self._adj: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # basic properties
@@ -98,6 +99,24 @@ class Graph:
     def copy(self) -> "Graph":
         """Deep copy of the graph (adjacency cache is not copied)."""
         return Graph(self.n, self.u.copy(), self.v.copy(), self.w.copy())
+
+    def fingerprint(self) -> str:
+        """Content hash of ``(n, u, v, w)`` (cached after the first call).
+
+        Used as the graph part of the process-level chain-cache key: two
+        graphs with equal fingerprints produce identical Laplacians and
+        hence identical factorizations for a fixed seed and configuration.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(np.int64(self.n).tobytes())
+            h.update(np.ascontiguousarray(self.u).tobytes())
+            h.update(np.ascontiguousarray(self.v).tobytes())
+            h.update(np.ascontiguousarray(self.w).tobytes())
+            self._fingerprint = "g:" + h.hexdigest()
+        return self._fingerprint
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Graph(n={self.n}, m={self.num_edges})"

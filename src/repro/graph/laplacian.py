@@ -105,15 +105,24 @@ class GrembanReduction:
     trivial: bool
 
     def expand_rhs(self, b: np.ndarray) -> np.ndarray:
-        """Lift a right-hand side of the original system to the reduced one."""
-        b = np.asarray(b, dtype=float).ravel()
+        """Lift right-hand side(s) of the original system to the reduced one.
+
+        Accepts a vector ``(n,)`` or a batch ``(n, k)``; the ground-vertex
+        row is zero either way.
+        """
+        b = np.asarray(b, dtype=float)
         if self.trivial:
             return b
-        return np.concatenate([b, -b, [0.0]])
+        if b.ndim == 1:
+            return np.concatenate([b, -b, [0.0]])
+        return np.concatenate([b, -b, np.zeros((1, b.shape[1]))], axis=0)
 
     def restrict_solution(self, x: np.ndarray) -> np.ndarray:
-        """Project a solution of the reduced system back to the original."""
-        x = np.asarray(x, dtype=float).ravel()
+        """Project solution(s) of the reduced system back to the original.
+
+        Accepts a vector ``(2n+1,)`` or a batch ``(2n+1, k)``.
+        """
+        x = np.asarray(x, dtype=float)
         if self.trivial:
             return x
         return 0.5 * (x[: self.n] - x[self.n : 2 * self.n])

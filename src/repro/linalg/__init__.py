@@ -8,7 +8,12 @@ matvec counting).
 
 from repro.linalg.norms import a_norm, a_norm_error, relative_a_norm_error, residual_norm
 from repro.linalg.operators import MatvecCounter, as_operator
-from repro.linalg.cg import conjugate_gradient, CGResult
+from repro.linalg.cg import (
+    conjugate_gradient,
+    CGResult,
+    batched_conjugate_gradient,
+    BatchedCGResult,
+)
 from repro.linalg.jacobi import jacobi_preconditioner, gauss_seidel_sweep
 from repro.linalg.direct import (
     solve_laplacian_direct,
@@ -25,6 +30,8 @@ __all__ = [
     "as_operator",
     "conjugate_gradient",
     "CGResult",
+    "batched_conjugate_gradient",
+    "BatchedCGResult",
     "jacobi_preconditioner",
     "gauss_seidel_sweep",
     "solve_laplacian_direct",

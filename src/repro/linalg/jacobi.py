@@ -26,7 +26,10 @@ def jacobi_preconditioner(matrix: sp.spmatrix, *, floor: float = 1e-300) -> Call
     inv[mask] = 1.0 / diag[mask]
 
     def apply(r: np.ndarray) -> np.ndarray:
-        return inv * np.asarray(r, dtype=float)
+        r = np.asarray(r, dtype=float)
+        if r.ndim == 2:
+            return inv[:, None] * r
+        return inv * r
 
     return apply
 

@@ -1,10 +1,18 @@
-"""End-to-end tests for the SDD solver (Theorem 1.1)."""
+"""End-to-end tests for the SDD solver (Theorem 1.1).
+
+These tests intentionally drive the deprecated ``SDDSolver`` / ``sdd_solve``
+shims: they pin down that the legacy surface keeps working (and keeps its
+accuracy guarantees) while it forwards to the factorize-once API.  New-API
+coverage lives in ``test_api.py``.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 import scipy.sparse as sp
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 from repro.core.solver import SDDSolver, sdd_solve
 from repro.graph import generators
