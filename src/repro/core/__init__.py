@@ -13,9 +13,12 @@
 * :mod:`~repro.core.stretch` — exact stretch measurement utilities.
 * :mod:`~repro.core.sparsify` — incremental sparsification (Lemma 6.1/6.2).
 * :mod:`~repro.core.elimination` — parallel greedy elimination
-  (partial Cholesky on degree ≤ 2 vertices, Lemma 6.5).
+  (partial Cholesky on degree ≤ 2 vertices, Lemma 6.5), vectorized over
+  CSR-style edge arrays with an array-form per-round schedule.
+* :mod:`~repro.core.transfer` — compiles elimination schedules into sparse
+  forward/backward solve-transfer operators (the solve hot path).
 * :mod:`~repro.core.chain` — preconditioner chain construction
-  (Definition 6.3, Section 6.3).
+  (Definition 6.3, Section 6.3); precompiles per-level transfers.
 * :mod:`~repro.core.chebyshev` — preconditioned Chebyshev iteration
   (Lemma 6.7).
 * :mod:`~repro.core.config` — frozen ``ChainConfig`` / ``SolverConfig``.
@@ -49,7 +52,12 @@ from repro.core.sparse_akpw import (
 )
 from repro.core.stretch import edge_stretches, total_stretch, average_stretch, tree_stretches
 from repro.core.sparsify import incremental_sparsify, SparsifyResult
-from repro.core.elimination import greedy_elimination, EliminationResult
+from repro.core.elimination import (
+    greedy_elimination,
+    EliminationResult,
+    EliminationSchedule,
+)
+from repro.core.transfer import compile_transfers, TransferOperators
 from repro.core.chain import build_chain, PreconditionerChain, ChainLevel
 from repro.core.chebyshev import chebyshev_apply, estimate_extreme_eigenvalues
 from repro.core.config import ChainConfig, SolverConfig
@@ -88,6 +96,9 @@ __all__ = [
     "SparsifyResult",
     "greedy_elimination",
     "EliminationResult",
+    "EliminationSchedule",
+    "compile_transfers",
+    "TransferOperators",
     "build_chain",
     "PreconditionerChain",
     "ChainLevel",

@@ -30,6 +30,7 @@ import scipy.sparse as sp
 
 from repro.core.elimination import EliminationResult, greedy_elimination
 from repro.core.sparse_akpw import SparseAKPWParameters, low_stretch_subgraph
+from repro.core.transfer import TransferOperators, compile_transfers
 from repro.core.sparsify import SparsifyResult, incremental_sparsify
 from repro.graph.graph import Graph
 from repro.graph.laplacian import graph_to_laplacian
@@ -52,6 +53,11 @@ class ChainLevel:
     elimination:
         The partial Cholesky taking ``B_i`` to ``A_{i+1}`` (``None`` at the
         bottom level).
+    transfers:
+        Compiled forward/backward solve-transfer operators for
+        ``elimination``, precompiled at chain-construction (``factorize``)
+        time so no solve ever pays the compilation or replays the op list
+        (``None`` at the bottom level).
     kappa:
         Condition parameter used for this level (``1`` at the bottom).
     """
@@ -60,6 +66,7 @@ class ChainLevel:
     laplacian: sp.csr_matrix
     sparsifier: Optional[SparsifyResult] = None
     elimination: Optional[EliminationResult] = None
+    transfers: Optional[TransferOperators] = None
     kappa: float = 1.0
 
     @property
@@ -223,6 +230,7 @@ def build_chain(
                 laplacian=lap,
                 sparsifier=sparsifier,
                 elimination=elimination,
+                transfers=compile_transfers(elimination),
                 kappa=level_kappa,
             )
         )

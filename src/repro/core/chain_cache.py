@@ -13,6 +13,13 @@ identical, so non-integer seeds (``None`` or generator objects, whose draws
 differ between calls) bypass the cache entirely — :func:`make_key` returns
 ``None`` for them.
 
+A cached operator carries the *compiled* chain: every
+:class:`~repro.core.chain.ChainLevel` holds its precompiled
+:class:`~repro.core.transfer.TransferOperators` (built once at factorize
+time), so a cache hit skips both the chain construction and the transfer
+compilation.  The compiled transfer arrays are immutable and safely shared
+between callers.
+
 The cache is intentionally tiny and synchronous: a lock-guarded
 ``OrderedDict`` with a bounded capacity.  Use :func:`clear_chain_cache`
 between benchmark phases and :func:`chain_cache_stats` to observe hit rates.

@@ -19,12 +19,28 @@ The independent set of degree-2 vertices is chosen by the random marking of
 Lemma 6.5 (heads with probability 1/3, keep heads with no heads neighbor),
 which removes a constant fraction of the "extra" vertices per round with
 high probability, giving O(log n) rounds.
+
+Execution model
+---------------
+The default (``parallel_degree2=True``) implementation is fully array-form,
+in the GBBS style: each rake/compress round is a handful of bulk NumPy
+passes over the current edge arrays (bulk degree counts via ``bincount``,
+bulk coin flips, bulk Schur-weight accumulation via ``np.add.at``), never a
+per-vertex Python loop.  The elimination *schedule* is likewise stored as
+per-round index/weight arrays (:class:`EliminationSchedule`), which
+:mod:`repro.core.transfer` compiles into sparse solve-transfer operators.
+The historical per-step ``List[Tuple]`` view survives as the deprecated
+:attr:`EliminationResult.operations` property.
+
+The sequential reference mode (``parallel_degree2=False``) keeps the
+original dict-of-dicts loop; it exists as the behavioural baseline for the
+randomized independent-set variant and is not on any hot path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +48,123 @@ from repro.graph.graph import Graph
 from repro.pram.model import CostModel, null_cost
 from repro.pram.primitives import charge_filter, charge_map
 from repro.util.rng import RngLike, as_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.transfer import TransferOperators
+
+#: Sentinel second neighbor for degree-1 steps in the schedule arrays.
+NO_NEIGHBOR = np.int64(-1)
+
+
+@dataclass
+class EliminationSchedule:
+    """Array-form elimination schedule: per-round index/weight arrays.
+
+    The schedule is a flat sequence of elimination *steps* in execution
+    order, split into *sub-rounds* by ``offsets`` (each rake or compress
+    phase of a round is one sub-round; the sequential reference mode emits
+    singleton sub-rounds).  Step ``i`` eliminates ``vertices[i]``:
+
+    * degree-1 step: neighbor ``nbr1[i]`` with weight ``w1[i]``;
+      ``nbr2[i] == NO_NEIGHBOR`` and ``w2[i] == 0``.
+    * degree-2 step: neighbors ``nbr1[i], nbr2[i]`` with weights
+      ``w1[i], w2[i]``.
+
+    Within a sub-round every step's *kind* is uniform and no step's
+    neighbors include a vertex eliminated in the same sub-round, so a
+    sub-round is a legal unit of parallel (vectorized) application — this is
+    the invariant :func:`repro.core.transfer.compile_transfers` relies on.
+    """
+
+    n: int
+    vertices: np.ndarray
+    nbr1: np.ndarray
+    nbr2: np.ndarray
+    w1: np.ndarray
+    w2: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def num_steps(self) -> int:
+        """Total number of eliminated vertices."""
+        return int(self.vertices.shape[0])
+
+    @property
+    def num_subrounds(self) -> int:
+        """Number of bulk-applicable sub-rounds."""
+        return int(self.offsets.shape[0]) - 1
+
+    def subround(self, i: int) -> slice:
+        """Index slice of sub-round ``i`` into the step arrays."""
+        return slice(int(self.offsets[i]), int(self.offsets[i + 1]))
+
+    def to_operations(self) -> List[Tuple]:
+        """Materialize the legacy per-step tuple list (see ``operations``)."""
+        ops: List[Tuple] = []
+        for i in range(self.num_steps):
+            v = int(self.vertices[i])
+            if self.nbr2[i] < 0:
+                ops.append(("d1", v, int(self.nbr1[i]), float(self.w1[i])))
+            else:
+                ops.append(
+                    (
+                        "d2",
+                        v,
+                        int(self.nbr1[i]),
+                        float(self.w1[i]),
+                        int(self.nbr2[i]),
+                        float(self.w2[i]),
+                    )
+                )
+        return ops
+
+    @staticmethod
+    def from_operations(n: int, operations: Sequence[Tuple]) -> "EliminationSchedule":
+        """Build a schedule from a legacy op list, grouping into sub-rounds.
+
+        Consecutive same-kind steps are greedily batched into one sub-round
+        as long as no step eliminates a vertex that an earlier step of the
+        batch already referenced as a neighbor (which would break the bulk
+        gather-before-scatter application).  This keeps the round-trip
+        ``schedule -> operations -> schedule`` semantically exact while
+        still producing usefully wide sub-rounds.
+        """
+        e = len(operations)
+        vertices = np.empty(e, dtype=np.int64)
+        nbr1 = np.empty(e, dtype=np.int64)
+        nbr2 = np.full(e, NO_NEIGHBOR, dtype=np.int64)
+        w1 = np.empty(e, dtype=np.float64)
+        w2 = np.zeros(e, dtype=np.float64)
+        offsets: List[int] = [0]
+        run_kind: Optional[str] = None
+        run_neighbors: set = set()
+        for i, op in enumerate(operations):
+            kind = op[0]
+            if kind == "d1":
+                _, v, u, w = op
+                vertices[i], nbr1[i], w1[i] = v, u, w
+                nbrs = (u,)
+            elif kind == "d2":
+                _, v, u1, wa, u2, wb = op
+                vertices[i], nbr1[i], w1[i] = v, u1, wa
+                nbr2[i], w2[i] = u2, wb
+                nbrs = (u1, u2)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown elimination op kind: {kind!r}")
+            if run_kind != kind or int(vertices[i]) in run_neighbors:
+                if i > 0:
+                    offsets.append(i)
+                run_kind = kind
+                run_neighbors = set()
+            run_neighbors.update(nbrs)
+        if e == 0:
+            offsets = [0]
+        else:
+            offsets.append(e)
+        return EliminationSchedule(
+            n=n, vertices=vertices, nbr1=nbr1, nbr2=nbr2, w1=w1, w2=w2,
+            offsets=np.asarray(offsets, dtype=np.int64),
+        )
 
 
 @dataclass
@@ -45,10 +178,9 @@ class EliminationResult:
         ``0..len(kept)-1``).
     kept_vertices:
         Original vertex ids of the kept vertices (sorted).
-    operations:
-        Elimination steps in order; each is either
-        ``("d1", v, u, w)`` or ``("d2", v, u1, w1, u2, w2)`` with *original*
-        vertex ids.
+    schedule:
+        The elimination steps as per-round index/weight arrays
+        (:class:`EliminationSchedule`).
     rounds:
         Number of rake/compress rounds executed (the parallel depth in units
         of rounds).
@@ -56,14 +188,48 @@ class EliminationResult:
 
     reduced_graph: Graph
     kept_vertices: np.ndarray
-    operations: List[Tuple]
+    schedule: EliminationSchedule
     rounds: int
     stats: Dict[str, float] = field(default_factory=dict)
+    _operations: Optional[List[Tuple]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _transfer: Optional["TransferOperators"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def operations(self) -> List[Tuple]:
+        """Elimination steps as ``("d1", v, u, w)`` / ``("d2", v, u1, w1, u2, w2)``.
+
+        .. deprecated::
+            The per-step tuple list is a legacy view kept for inspection and
+            round-trip tests; it is materialized lazily from
+            :attr:`schedule` and must not be replayed on hot paths — use the
+            compiled :attr:`transfer` operators instead.
+
+        Within a ``d2`` tuple the two ``(neighbor, weight)`` pairs may
+        appear in either order (the vectorized rounds emit edge-array
+        order, not the historical dict-insertion order); the pairs are
+        mathematically symmetric and every transfer quantity is unaffected.
+        """
+        if self._operations is None:
+            self._operations = self.schedule.to_operations()
+        return self._operations
 
     @property
     def num_eliminated(self) -> int:
         """Number of vertices eliminated."""
-        return len(self.operations)
+        return self.schedule.num_steps
+
+    @property
+    def transfer(self) -> "TransferOperators":
+        """Compiled solve-transfer operators for this elimination (cached)."""
+        if self._transfer is None:
+            from repro.core.transfer import compile_transfers
+
+            self._transfer = compile_transfers(self)
+        return self._transfer
 
     # ------------------------------------------------------------------ #
     # solve transfer
@@ -71,23 +237,14 @@ class EliminationResult:
     def forward_rhs(self, b: np.ndarray) -> np.ndarray:
         """Transfer right-hand side(s) to the reduced system.
 
-        Accepts a vector ``(n,)`` or a batch ``(n, k)`` — every elimination
-        step is a row operation, so one traversal of the operation list
-        serves all columns at once.  Returns the reduced right-hand side(s)
-        indexed by the reduced graph's vertex numbering (i.e. position ``i``
-        corresponds to ``kept_vertices[i]``).
+        Accepts a vector ``(n,)`` or a batch ``(n, k)``.  Returns the
+        reduced right-hand side(s) indexed by the reduced graph's vertex
+        numbering (i.e. position ``i`` corresponds to
+        ``kept_vertices[i]``).  Delegates to the compiled transfer
+        operators; see :meth:`TransferOperators.forward` for the
+        carry-reusing variant used on the solver hot path.
         """
-        b_full = np.asarray(b, dtype=float).copy()
-        for op in self.operations:
-            if op[0] == "d1":
-                _, v, u, _w = op
-                b_full[u] += b_full[v]
-            else:
-                _, v, u1, w1, u2, w2 = op
-                total = w1 + w2
-                b_full[u1] += (w1 / total) * b_full[v]
-                b_full[u2] += (w2 / total) * b_full[v]
-        return b_full[self.kept_vertices]
+        return self.transfer.forward_rhs(b)
 
     def backward_solution(self, b: np.ndarray, x_reduced: np.ndarray) -> np.ndarray:
         """Extend reduced solution(s) back to all original vertices.
@@ -95,33 +252,224 @@ class EliminationResult:
         Shapes mirror :meth:`forward_rhs`: ``b`` may be ``(n,)`` or
         ``(n, k)`` with ``x_reduced`` shaped to match.
         """
-        b_full = np.asarray(b, dtype=float).copy()
-        # Re-run the forward pass: because an eliminated vertex is never a
-        # neighbor of a later elimination, its final forwarded value equals
-        # its value at elimination time, which is what back substitution
-        # needs.
-        for op in self.operations:
-            if op[0] == "d1":
-                _, v, u, _w = op
-                b_full[u] += b_full[v]
-            else:
-                _, v, u1, w1, u2, w2 = op
-                total = w1 + w2
-                b_full[u1] += (w1 / total) * b_full[v]
-                b_full[u2] += (w2 / total) * b_full[v]
-        x = np.zeros_like(b_full)
-        x[self.kept_vertices] = np.asarray(x_reduced, dtype=float)
-        for op in reversed(self.operations):
-            if op[0] == "d1":
-                _, v, u, w = op
-                x[v] = x[u] + b_full[v] / w
-            else:
-                _, v, u1, w1, u2, w2 = op
-                total = w1 + w2
-                x[v] = (w1 * x[u1] + w2 * x[u2] + b_full[v]) / total
-        return x
+        return self.transfer.backward_solution(b, x_reduced)
 
 
+# --------------------------------------------------------------------------- #
+# vectorized (parallel) implementation
+# --------------------------------------------------------------------------- #
+def _coalesce(
+    n: int, eu: np.ndarray, ev: np.ndarray, ew: np.ndarray, ets: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Merge parallel edges: weights summed in array order, timestamps min'd.
+
+    Summation order matters for bit-for-bit reproducibility of the Schur
+    weights (the sequential reference accumulates onto the existing edge
+    weight in elimination order, which array order mirrors here).
+    """
+    if eu.size == 0:
+        return eu, ev, ew, ets
+    lo = np.minimum(eu, ev)
+    hi = np.maximum(eu, ev)
+    keys = lo * np.int64(n) + hi
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    w = np.zeros(uniq.shape[0], dtype=np.float64)
+    np.add.at(w, inverse, ew)
+    ts = np.full(uniq.shape[0], np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(ts, inverse, ets)
+    return (uniq // n).astype(np.int64), (uniq % n).astype(np.int64), w, ts
+
+
+class _ScheduleBuilder:
+    """Accumulates per-sub-round step arrays into one flat schedule."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._v: List[np.ndarray] = []
+        self._u1: List[np.ndarray] = []
+        self._u2: List[np.ndarray] = []
+        self._w1: List[np.ndarray] = []
+        self._w2: List[np.ndarray] = []
+        self._offsets: List[int] = [0]
+        self.num_steps = 0
+
+    def add_subround(
+        self,
+        v: np.ndarray,
+        u1: np.ndarray,
+        w1: np.ndarray,
+        u2: Optional[np.ndarray] = None,
+        w2: Optional[np.ndarray] = None,
+    ) -> None:
+        size = int(v.shape[0])
+        if size == 0:
+            return
+        self._v.append(v.astype(np.int64, copy=False))
+        self._u1.append(u1.astype(np.int64, copy=False))
+        self._w1.append(w1.astype(np.float64, copy=False))
+        if u2 is None:
+            self._u2.append(np.full(size, NO_NEIGHBOR, dtype=np.int64))
+            self._w2.append(np.zeros(size, dtype=np.float64))
+        else:
+            self._u2.append(u2.astype(np.int64, copy=False))
+            self._w2.append(np.asarray(w2, dtype=np.float64))
+        self.num_steps += size
+        self._offsets.append(self.num_steps)
+
+    def build(self) -> EliminationSchedule:
+        empty_i = np.zeros(0, dtype=np.int64)
+        empty_f = np.zeros(0, dtype=np.float64)
+        return EliminationSchedule(
+            n=self.n,
+            vertices=np.concatenate(self._v) if self._v else empty_i,
+            nbr1=np.concatenate(self._u1) if self._u1 else empty_i,
+            nbr2=np.concatenate(self._u2) if self._u2 else empty_i,
+            w1=np.concatenate(self._w1) if self._w1 else empty_f,
+            w2=np.concatenate(self._w2) if self._w2 else empty_f,
+            offsets=np.asarray(self._offsets, dtype=np.int64),
+        )
+
+
+def _eliminate_parallel(
+    graph: Graph,
+    rng: np.random.Generator,
+    cost: CostModel,
+    max_rounds: int,
+    min_vertices: int,
+) -> Tuple[EliminationSchedule, np.ndarray, Graph, int, float]:
+    """Array-form rake/compress rounds over shrinking edge arrays.
+
+    Each round is a constant number of bulk passes over the *currently
+    alive* edges — no per-vertex Python loops and no O(n) rescan of dead
+    vertices beyond C-level ``bincount`` counters.  Returns the schedule,
+    kept vertices, reduced graph, round count, and the number of edge scans
+    performed (a diagnostic for the O(m) total-work claim).
+    """
+    n = graph.n
+    m0 = graph.num_edges
+    charge_map(cost, m0)
+    # Edge state: coalesced undirected edges plus a creation timestamp used
+    # to emit the reduced graph in the same (insertion-ordered) edge order
+    # as the sequential dict-of-dicts reference implementation.
+    eu, ev, ew, ets = _coalesce(
+        n, graph.u, graph.v, graph.w, np.arange(m0, dtype=np.int64)
+    )
+    alive_count = n
+    dead = np.zeros(n, dtype=bool)
+    builder = _ScheduleBuilder(n)
+    rounds = 0
+    edge_scans = 0.0
+
+    for _ in range(max_rounds):
+        if alive_count <= min_vertices:
+            break
+        rounds += 1
+        edge_scans += float(eu.size)
+
+        # --- rake: eliminate degree-1 vertices (resolve adjacent pairs). ---
+        deg = np.bincount(eu, minlength=n) + np.bincount(ev, minlength=n)
+        deg1_mask = deg == 1
+        num_deg1 = int(np.count_nonzero(deg1_mask))
+        if num_deg1:
+            sel_u = deg1_mask[eu]
+            sel_v = deg1_mask[ev]
+            cand_v = np.concatenate([eu[sel_u], ev[sel_v]])
+            cand_u = np.concatenate([ev[sel_u], eu[sel_v]])
+            cand_w = np.concatenate([ew[sel_u], ew[sel_v]])
+            # An isolated edge has two degree-1 endpoints; the smaller id is
+            # eliminated into the larger, which survives the round.
+            ok = ~(deg1_mask[cand_u] & (cand_u < cand_v))
+            cand_v, cand_u, cand_w = cand_v[ok], cand_u[ok], cand_w[ok]
+            order = np.argsort(cand_v)
+            cand_v, cand_u, cand_w = cand_v[order], cand_u[order], cand_w[order]
+            allowance = alive_count - min_vertices
+            if cand_v.shape[0] > allowance:
+                cand_v = cand_v[:allowance]
+                cand_u = cand_u[:allowance]
+                cand_w = cand_w[:allowance]
+            if cand_v.size:
+                builder.add_subround(cand_v, cand_u, cand_w)
+                dead[cand_v] = True
+                alive_count -= int(cand_v.shape[0])
+                keep = ~(dead[eu] | dead[ev])
+                eu, ev, ew, ets = eu[keep], ev[keep], ew[keep], ets[keep]
+        charge_map(cost, alive_count)
+
+        # --- compress: eliminate an independent set of degree-2 vertices. ---
+        deg = np.bincount(eu, minlength=n) + np.bincount(ev, minlength=n)
+        deg2_mask = deg == 2
+        deg2 = np.flatnonzero(deg2_mask)
+        charge_map(cost, alive_count)
+        if deg2.size:
+            coins = rng.random(deg2.shape[0]) < (1.0 / 3.0)
+            heads = np.zeros(n, dtype=bool)
+            heads[deg2[coins]] = True
+            # Gather both incident edges of every degree-2 vertex: its two
+            # entries in the (src, dst) direction-doubled edge arrays.
+            src = np.concatenate([eu, ev])
+            dst = np.concatenate([ev, eu])
+            dwt = np.concatenate([ew, ew])
+            sel = deg2_mask[src]
+            order = np.argsort(src[sel], kind="stable")
+            s2 = src[sel][order]
+            d2 = dst[sel][order]
+            w2 = dwt[sel][order]
+            vs = s2[0::2]  # == deg2 (ascending), each exactly twice
+            u1, u2 = d2[0::2], d2[1::2]
+            wa, wb = w2[0::2], w2[1::2]
+            chosen = coins & ~(heads[u1] | heads[u2])
+            vs_c, u1_c, u2_c = vs[chosen], u1[chosen], u2[chosen]
+            wa_c, wb_c = wa[chosen], wb[chosen]
+            allowance = alive_count - min_vertices
+            if vs_c.shape[0] > allowance:
+                vs_c, u1_c, u2_c = vs_c[:allowance], u1_c[:allowance], u2_c[:allowance]
+                wa_c, wb_c = wa_c[:allowance], wb_c[:allowance]
+            if vs_c.size:
+                # Schur edges stamped by global step index so that reduced
+                # edge order matches dict insertion chronology.
+                new_ts = m0 + builder.num_steps + np.arange(
+                    vs_c.shape[0], dtype=np.int64
+                )
+                builder.add_subround(vs_c, u1_c, wa_c, u2_c, wb_c)
+                dead[vs_c] = True
+                alive_count -= int(vs_c.shape[0])
+                keep = ~(dead[eu] | dead[ev])
+                new_w = wa_c * wb_c / (wa_c + wb_c)
+                eu, ev, ew, ets = _coalesce(
+                    n,
+                    np.concatenate([eu[keep], u1_c]),
+                    np.concatenate([ev[keep], u2_c]),
+                    np.concatenate([ew[keep], new_w]),
+                    np.concatenate([ets[keep], new_ts]),
+                )
+        charge_filter(cost, alive_count)
+        # Stop only when nothing is eliminable at all: an unlucky coin-flip
+        # round (no marked independent vertices) should simply retry.
+        if num_deg1 == 0 and deg2.size == 0:
+            break
+
+    kept = np.flatnonzero(~dead)
+    remap = np.full(n, -1, dtype=np.int64)
+    remap[kept] = np.arange(kept.shape[0])
+    if eu.size:
+        lo = np.minimum(eu, ev)
+        hi = np.maximum(eu, ev)
+        # Primary key: smaller endpoint ascending; secondary: creation time.
+        # This reproduces the "for v in kept: for u in adj[v]" emission order
+        # of the dict-based reference exactly.
+        order = np.lexsort((ets, lo))
+        ru, rv, rw = remap[lo[order]], remap[hi[order]], ew[order]
+    else:
+        ru = np.zeros(0, dtype=np.int64)
+        rv = np.zeros(0, dtype=np.int64)
+        rw = np.zeros(0, dtype=np.float64)
+    reduced = Graph(kept.shape[0], ru, rv, rw)
+    return builder.build(), kept, reduced, rounds, edge_scans
+
+
+# --------------------------------------------------------------------------- #
+# sequential reference implementation (parallel_degree2=False)
+# --------------------------------------------------------------------------- #
 def _adjacency_dicts(graph: Graph) -> List[Dict[int, float]]:
     """Dict-of-dicts adjacency with parallel edges coalesced."""
     adj: List[Dict[int, float]] = [dict() for _ in range(graph.n)]
@@ -134,36 +482,13 @@ def _adjacency_dicts(graph: Graph) -> List[Dict[int, float]]:
     return adj
 
 
-def greedy_elimination(
+def _eliminate_sequential(
     graph: Graph,
-    seed: RngLike = None,
-    *,
-    cost: Optional[CostModel] = None,
-    max_rounds: int = 200,
-    min_vertices: int = 1,
-    parallel_degree2: bool = True,
-) -> EliminationResult:
-    """Lemma 6.5: eliminate degree-1 and (an independent set of) degree-2 vertices.
-
-    Parameters
-    ----------
-    graph:
-        The Laplacian graph to reduce (conductance weights).
-    min_vertices:
-        Never eliminate below this many vertices (at least one vertex per
-        component must remain for the Laplacian solve transfer to be
-        well-posed; the chain keeps the bottom graphs non-trivial anyway).
-    parallel_degree2:
-        Use the randomized independent-set marking of the parallel algorithm
-        (True) or eliminate degree-2 vertices greedily one at a time
-        (False, the sequential reference behaviour).
-
-    Returns
-    -------
-    EliminationResult
-    """
-    cost = cost or null_cost()
-    rng = as_rng(seed)
+    cost: CostModel,
+    max_rounds: int,
+    min_vertices: int,
+) -> Tuple[EliminationSchedule, np.ndarray, Graph, int]:
+    """The historical one-vertex-at-a-time reference (greedy degree-2)."""
     n = graph.n
     adj = _adjacency_dicts(graph)
     charge_map(cost, graph.num_edges)
@@ -201,7 +526,6 @@ def greedy_elimination(
         if alive_count <= min_vertices:
             break
         rounds += 1
-        # --- rake: eliminate degree-1 vertices (resolve adjacent pairs). ---
         deg1 = [v for v in range(n) if alive[v] and degree(v) == 1]
         charge_map(cost, alive_count)
         deg1_set = set(deg1)
@@ -211,44 +535,27 @@ def greedy_elimination(
             if not alive[v] or degree(v) != 1:
                 continue
             u = next(iter(adj[v]))
-            # If both endpoints of an isolated edge are degree-1, keep the
-            # smaller id as the survivor.
             if u in deg1_set and u < v and degree(u) == 1:
                 continue
             eliminate_degree1(v)
-        # --- compress: eliminate an independent set of degree-2 vertices. ---
         deg2 = [v for v in range(n) if alive[v] and degree(v) == 2]
         charge_map(cost, alive_count)
-        if deg2:
-            if parallel_degree2:
-                coins = rng.random(len(deg2)) < (1.0 / 3.0)
-                heads = {v for v, c in zip(deg2, coins) if c}
-                chosen = [
-                    v
-                    for v, c in zip(deg2, coins)
-                    if c and not any(nbr in heads for nbr in adj[v])
-                ]
-            else:
-                chosen = deg2
-            for v in chosen:
-                if alive_count <= min_vertices:
-                    break
-                if not alive[v] or degree(v) != 2:
-                    continue
-                neighbors = list(adj[v].keys())
-                if len(neighbors) == 1:
-                    # Parallel edges merged into a single neighbor: degree-1.
-                    eliminate_degree1(v)
-                    continue
-                eliminate_degree2(v)
+        for v in deg2:
+            if alive_count <= min_vertices:
+                break
+            if not alive[v] or degree(v) != 2:
+                continue
+            neighbors = list(adj[v].keys())
+            if len(neighbors) == 1:
+                # Parallel edges merged into a single neighbor: degree-1.
+                eliminate_degree1(v)
+                continue
+            eliminate_degree2(v)
         charge_filter(cost, alive_count)
-        # Stop only when nothing is eliminable at all: an unlucky coin-flip
-        # round (no marked independent vertices) should simply retry.
         if not deg1 and not deg2:
             break
 
     kept = np.flatnonzero(alive)
-    # Build the reduced graph from the remaining adjacency.
     remap = np.full(n, -1, dtype=np.int64)
     remap[kept] = np.arange(kept.shape[0])
     ru, rv, rw = [], [], []
@@ -258,16 +565,68 @@ def greedy_elimination(
                 ru.append(remap[v])
                 rv.append(remap[u])
                 rw.append(w)
-    reduced = Graph(kept.shape[0], np.array(ru, dtype=np.int64), np.array(rv, dtype=np.int64), np.array(rw, dtype=float))
+    reduced = Graph(
+        kept.shape[0],
+        np.array(ru, dtype=np.int64),
+        np.array(rv, dtype=np.int64),
+        np.array(rw, dtype=float),
+    )
+    return EliminationSchedule.from_operations(n, operations), kept, reduced, rounds
+
+
+def greedy_elimination(
+    graph: Graph,
+    seed: RngLike = None,
+    *,
+    cost: Optional[CostModel] = None,
+    max_rounds: int = 200,
+    min_vertices: int = 1,
+    parallel_degree2: bool = True,
+) -> EliminationResult:
+    """Lemma 6.5: eliminate degree-1 and (an independent set of) degree-2 vertices.
+
+    Parameters
+    ----------
+    graph:
+        The Laplacian graph to reduce (conductance weights).
+    min_vertices:
+        Never eliminate below this many vertices (at least one vertex per
+        component must remain for the Laplacian solve transfer to be
+        well-posed; the chain keeps the bottom graphs non-trivial anyway).
+    parallel_degree2:
+        Use the randomized independent-set marking of the parallel algorithm
+        (True, vectorized over CSR-style edge arrays) or eliminate degree-2
+        vertices greedily one at a time (False, the sequential reference
+        behaviour).
+
+    Returns
+    -------
+    EliminationResult
+    """
+    cost = cost or null_cost()
+    rng = as_rng(seed)
+
+    if parallel_degree2:
+        schedule, kept, reduced, rounds, edge_scans = _eliminate_parallel(
+            graph, rng, cost, max_rounds, min_vertices
+        )
+    else:
+        schedule, kept, reduced, rounds = _eliminate_sequential(
+            graph, cost, max_rounds, min_vertices
+        )
+        edge_scans = float(graph.num_edges) * rounds
+
     stats = {
         "rounds": float(rounds),
-        "eliminated": float(len(operations)),
+        "eliminated": float(schedule.num_steps),
         "kept": float(kept.shape[0]),
+        "subrounds": float(schedule.num_subrounds),
+        "edge_scans": edge_scans,
     }
     return EliminationResult(
         reduced_graph=reduced,
         kept_vertices=kept,
-        operations=operations,
+        schedule=schedule,
         rounds=rounds,
         stats=stats,
     )

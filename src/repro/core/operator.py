@@ -50,6 +50,7 @@ from repro.linalg.cg import batched_conjugate_gradient
 from repro.linalg.direct import laplacian_pseudoinverse
 from repro.linalg.jacobi import jacobi_preconditioner
 from repro.pram.model import CostModel, log2ceil
+from repro.pram.primitives import charge_elimination_transfer
 from repro.util.rng import RngLike, as_rng
 
 MatrixInput = Union[Graph, sp.spmatrix, np.ndarray]
@@ -296,20 +297,22 @@ class LaplacianOperator:
         return pinv @ np.asarray(b, dtype=float)
 
     def _apply_preconditioner(self, level_index: int, r: np.ndarray, inner: str) -> np.ndarray:
-        """Approximate ``B_i^+ r`` via elimination transfer + recursive solve."""
+        """Approximate ``B_i^+ r`` via compiled elimination transfer + recursive solve."""
         r = np.asarray(r, dtype=float)
         if r.ndim == 1:
             return self._apply_preconditioner(level_index, r[:, None], inner)[:, 0]
         level = self.chain.levels[level_index]
         assert level.elimination is not None
         elim = level.elimination
+        # Levels built by build_chain carry precompiled transfers; fall back
+        # to the elimination's lazy compile for hand-assembled chains.
+        transfers = level.transfers if level.transfers is not None else elim.transfer
         width = r.shape[1]
-        transfer_work = float(len(elim.operations) + 1) * width
-        r_reduced = elim.forward_rhs(r)
-        self.cost.charge(work=transfer_work, depth=1.0)
+        charge_elimination_transfer(self.cost, elim.num_eliminated, elim.rounds, width)
+        r_reduced, carry = transfers.forward(r)
         x_reduced = self._solve_level(level_index + 1, r_reduced, inner)
-        x = elim.backward_solution(r, x_reduced)
-        self.cost.charge(work=transfer_work, depth=1.0)
+        x = transfers.backward(carry, x_reduced)
+        charge_elimination_transfer(self.cost, elim.num_eliminated, elim.rounds, width)
         return x
 
     def _solve_level(self, level_index: int, b: np.ndarray, inner: str) -> np.ndarray:

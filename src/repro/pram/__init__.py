@@ -10,6 +10,7 @@ claims without needing actual parallel hardware.
 
 from repro.pram.model import CostModel, ParallelSection, null_cost
 from repro.pram.primitives import (
+    charge_elimination_transfer,
     charge_filter,
     charge_map,
     charge_pack,
@@ -28,4 +29,5 @@ __all__ = [
     "charge_filter",
     "charge_pack",
     "charge_sort",
+    "charge_elimination_transfer",
 ]

@@ -61,6 +61,22 @@ def charge_sort(cost: CostModel, n: int) -> None:
     cost.charge(work=n * logn, depth=logn * logn)
 
 
+def charge_elimination_transfer(
+    cost: CostModel, num_eliminated: int, rounds: int, width: int = 1
+) -> None:
+    """One direction of an elimination solve transfer (forward or backward).
+
+    Work is linear in the eliminated vertices (times the batch ``width``);
+    depth is one unit per rake/compress *round* — the paper's O(log n)
+    parallel tree-contraction depth (Lemma 6.5) — because the steps of a
+    round are independent but consecutive rounds are sequentially dependent.
+    """
+    cost.charge(
+        work=float(num_eliminated + 1) * max(width, 1),
+        depth=float(max(rounds, 1)),
+    )
+
+
 def charge_bfs_round(cost: CostModel, frontier_edges: int, n: int) -> None:
     """One level-synchronous BFS round touching ``frontier_edges`` edges.
 

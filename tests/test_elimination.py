@@ -121,6 +121,51 @@ class TestReductionGuarantee:
         assert np.all(elim.reduced_graph.w > 0)
 
 
+class TestSchedule:
+    """Array-form schedule invariants (the compiled-transfer contract)."""
+
+    def test_subrounds_partition_steps(self, random_graph):
+        sched = greedy_elimination(random_graph, seed=0).schedule
+        offs = sched.offsets
+        assert offs[0] == 0 and offs[-1] == sched.num_steps
+        assert np.all(np.diff(offs) > 0)  # no empty sub-rounds
+
+    def test_subrounds_uniform_kind_and_independent(self, random_graph):
+        sched = greedy_elimination(random_graph, seed=0).schedule
+        for i in range(sched.num_subrounds):
+            sl = sched.subround(i)
+            is_d1 = sched.nbr2[sl] < 0
+            assert is_d1.all() or not is_d1.any()
+            eliminated = set(sched.vertices[sl].tolist())
+            refs = set(sched.nbr1[sl].tolist())
+            refs |= set(sched.nbr2[sl][sched.nbr2[sl] >= 0].tolist())
+            assert not (eliminated & refs)
+
+    def test_degree1_steps_have_sentinel_second_neighbor(self):
+        g = generators.star_graph(20)
+        sched = greedy_elimination(g, seed=0).schedule
+        d1 = sched.nbr2 < 0
+        assert np.all(sched.w2[d1] == 0.0)
+        assert np.all(sched.w1 > 0)
+
+    def test_path_rounds_logarithmic(self):
+        """Satellite: no O(n)-rescan behaviour — rounds stay ~ log n and the
+        per-round scans shrink with the surviving frontier."""
+        for n in (256, 1024, 4096):
+            elim = greedy_elimination(generators.path_graph(n), seed=0)
+            log_n = np.log2(n)
+            assert elim.rounds <= 5 * log_n
+            # Total edges scanned across all rounds is linear in n (the
+            # frontier decays geometrically), not n * rounds.
+            assert elim.stats["edge_scans"] <= 12 * n
+
+    def test_stats_report_schedule_shape(self, random_graph):
+        elim = greedy_elimination(random_graph, seed=0)
+        assert elim.stats["eliminated"] == elim.num_eliminated
+        assert elim.stats["subrounds"] == elim.schedule.num_subrounds
+        assert elim.stats["rounds"] == elim.rounds
+
+
 class TestBookkeeping:
     def test_kept_plus_eliminated_is_n(self, random_graph):
         elim = greedy_elimination(random_graph, seed=0)
