@@ -1,0 +1,166 @@
+"""Experiment E12: the vectorized chain-construction (``factorize``) pipeline.
+
+PR 2 compiled the solve-side hot path; this benchmark tracks the *setup*
+side — AKPW clustering, ball growing, low-diameter decomposition, forest
+rooting / stretch measurement, incremental sparsification, elimination, and
+the bottom-level factorization — after the chain-construction pipeline was
+rewritten as bulk array passes (Euler-tour forest rooting, bulk union-find,
+Borůvka spanning forests, frontier ball growing, forest-basis stretch
+sampling, grounded sparse-LU bottom factor).
+
+Per workload it records the end-to-end ``factorize()`` wall time, the
+per-stage breakdown (``chain.stats['seconds_*']``), and the charged PRAM
+setup work/depth, on graphs up to ~100k vertices — far beyond the n=576
+ceiling the per-vertex Python build path topped out at.
+
+Machine-readable output
+-----------------------
+Run this module as a script to emit ``BENCH_chain_build.json``::
+
+    PYTHONPATH=src python benchmarks/bench_chain_build.py --json
+    PYTHONPATH=src python benchmarks/bench_chain_build.py --json --sizes 71 141
+
+The payload also carries the pre-refactor reference measurement on the
+20k-vertex grid (chunked-Dijkstra stretch sampling + dense bottom ``pinv``)
+and the resulting speedup, giving future PRs a setup-perf trajectory to
+diff against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.core.chain_cache import clear_chain_cache
+from repro.core.operator import factorize
+from repro.graph import generators
+from repro.pram.model import CostModel
+
+#: Pre-refactor end-to-end ``factorize()`` wall time on the 20k-vertex
+#: benchmark grid (grid_2d(141, 141), seed 0) measured on the development
+#: container at the PR-3 baseline commit (2ac5fb4): chunked multi-source
+#: Dijkstra stretch sampling dominated (46.4 s) plus the dense bottom
+#: pseudo-inverse (8.0 s).
+PRE_PR_BASELINE_20K_SECONDS = 56.4
+BASELINE_20K_SIDE = 141
+
+STAGE_KEYS = (
+    "seconds_subgraph",
+    "seconds_sparsify",
+    "seconds_elimination",
+    "seconds_transfer",
+    "seconds_bottom",
+)
+
+
+def measure_workload(name: str, graph, seed: int = 0) -> Dict:
+    """Factorize ``graph`` once and report wall/stage/work/depth metrics."""
+    cost = CostModel()
+    t0 = time.perf_counter()
+    op = factorize(graph, seed=seed, cost=cost)
+    wall = time.perf_counter() - t0
+    stats = op.chain.stats
+    stages = {k: float(stats.get(k, 0.0)) for k in STAGE_KEYS}
+    return {
+        "workload": name,
+        "n": graph.n,
+        "m": graph.num_edges,
+        "chain_levels": op.chain.depth,
+        "bottom_size": int(stats.get("bottom_size", 0)),
+        "bottom_factor_nnz": int(op.chain.bottom_solver.factor_nnz),
+        "setup_seconds": wall,
+        "stage_seconds": stages,
+        "stage_seconds_accounted": float(sum(stages.values())),
+        "setup_work": cost.work,
+        "setup_depth": cost.depth,
+    }
+
+
+def collect_payload(sizes=(71, 141, 224, 317), weighted_side: int = 141) -> Dict:
+    """Sweep grid workloads (plus one weighted grid) through ``factorize``."""
+    clear_chain_cache()
+    workloads: List[Dict] = []
+    for side in sizes:
+        g = generators.grid_2d(side, side)
+        workloads.append(measure_workload(f"grid{side}", g))
+    if weighted_side:
+        g = generators.weighted_grid_2d(weighted_side, weighted_side, seed=7, spread=1e4)
+        workloads.append(measure_workload(f"wgrid{weighted_side}", g))
+
+    baseline = {
+        "workload": f"grid{BASELINE_20K_SIDE}",
+        "pre_pr_seconds": PRE_PR_BASELINE_20K_SECONDS,
+        "note": (
+            "end-to-end factorize() wall time before the vectorized chain "
+            "construction (per-vertex DFS rooting, Python union-find, "
+            "Dijkstra stretch sampling, dense bottom pinv)"
+        ),
+    }
+    current_20k = next(
+        (w for w in workloads if w["workload"] == f"grid{BASELINE_20K_SIDE}"), None
+    )
+    if current_20k is not None:
+        baseline["post_pr_seconds"] = current_20k["setup_seconds"]
+        baseline["speedup"] = PRE_PR_BASELINE_20K_SECONDS / max(
+            current_20k["setup_seconds"], 1e-9
+        )
+    return {
+        "experiment": "E12",
+        "schema_version": 1,
+        "workloads": workloads,
+        "baseline_20k": baseline,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="write the machine-readable benchmark payload",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_chain_build.json",
+        help="output path for --json (default: BENCH_chain_build.json)",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[71, 141, 224, 317],
+        help="grid side lengths to sweep (317 -> ~100k vertices)",
+    )
+    parser.add_argument(
+        "--weighted-side",
+        type=int,
+        default=141,
+        help="side of the additional weighted-grid workload (0 disables)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = collect_payload(sizes=tuple(args.sizes), weighted_side=args.weighted_side)
+    for w in payload["workloads"]:
+        stages = ", ".join(f"{k.split('_', 1)[1]} {v:.3f}s" for k, v in w["stage_seconds"].items())
+        print(
+            f"{w['workload']}: n={w['n']} m={w['m']} setup {w['setup_seconds']:.3f}s "
+            f"(levels={w['chain_levels']}, bottom={w['bottom_size']}) [{stages}]"
+        )
+    base = payload["baseline_20k"]
+    if "speedup" in base:
+        print(
+            f"20k-vertex baseline: {base['pre_pr_seconds']:.1f}s pre-PR -> "
+            f"{base['post_pr_seconds']:.3f}s ({base['speedup']:.1f}x)"
+        )
+    if args.json:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -249,7 +249,7 @@ def _multi_rhs_row(name: str, g, batch: np.ndarray):
 # --------------------------------------------------------------------------- #
 # standalone --json harness
 # --------------------------------------------------------------------------- #
-def collect_payload(sizes=(16, 24, 32), batch_width: int = 8) -> Dict:
+def collect_payload(sizes=(16, 24, 32, 64, 100), batch_width: int = 8) -> Dict:
     """Measure setup vs per-solve cost and multi-RHS behaviour per workload."""
     clear_chain_cache()
     workloads: List[Dict] = []
@@ -308,8 +308,9 @@ def main(argv=None) -> int:
         "--sizes",
         type=int,
         nargs="+",
-        default=[16, 24, 32],
-        help="grid side lengths to sweep",
+        default=[16, 24, 32, 64, 100],
+        help="grid side lengths to sweep (the vectorized chain construction"
+        " makes 10k-vertex setups routine)",
     )
     parser.add_argument("--batch", type=int, default=8, help="multi-RHS batch width")
     args = parser.parse_args(argv)

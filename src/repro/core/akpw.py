@@ -31,7 +31,7 @@ from repro.core.decomposition import partition
 from repro.graph.contraction import contract_vertices
 from repro.graph.graph import Graph
 from repro.pram.model import CostModel, null_cost
-from repro.pram.primitives import charge_filter, charge_map
+from repro.pram.primitives import charge_filter, charge_semisort
 from repro.util.rng import RngLike, as_rng
 
 
@@ -175,10 +175,11 @@ def akpw_spanning_tree(
     if m == 0:
         return AKPWResult(np.empty(0, dtype=np.int64), 0, params)
 
-    # Step i + iii: normalize weights and bucket edges into classes >= 1.
+    # Step i + iii: normalize weights and bucket edges into classes >= 1
+    # (a semisort of the edge keys: O(m) work, O(log m) depth).
     edge_class = graph.weight_buckets(params.z)
     max_class = int(edge_class.max(initial=1))
-    charge_map(cost, m)
+    charge_semisort(cost, m)
 
     # State carried across iterations: the contracted multigraph, the map
     # from its edges back to original edge ids, and their classes.
@@ -236,7 +237,7 @@ def akpw_spanning_tree(
     if current.num_edges > 0:
         from repro.graph.mst import minimum_spanning_tree_edges
 
-        leftover = minimum_spanning_tree_edges(current)
+        leftover = minimum_spanning_tree_edges(current, cost=cost)
         if leftover.size:
             tree_edges.append(orig_ids[leftover])
             cost.bump("akpw_fallback_edges", float(leftover.size))

@@ -25,7 +25,7 @@ import numpy as np
 from repro.graph._gather import gather_ranges
 from repro.graph.graph import Graph
 from repro.pram.model import CostModel, null_cost
-from repro.pram.primitives import charge_bfs_round, charge_map
+from repro.pram.primitives import charge_ball_growing_round, charge_map
 
 
 @dataclass
@@ -126,10 +126,14 @@ def grow_balls(
     indptr, neighbors, edge_ids = graph.adjacency
     charge_map(cost, centers.size)
 
-    # Sort centers by delay so that activations per time step are cheap.
+    # Sort centers by delay; the activation window of each time step is then
+    # a binary-searched slice instead of a per-center scan.
     delay_order = np.argsort(delays, kind="stable")
     centers_sorted = centers[delay_order]
     delays_sorted = delays[delay_order]
+    activation_bounds = np.searchsorted(
+        delays_sorted, np.arange(radius + 2, dtype=np.int64), side="left"
+    )
     activation_ptr = 0
 
     frontier = np.empty(0, dtype=np.int64)
@@ -143,7 +147,7 @@ def grow_balls(
         # Wave expansion from the previous frontier.
         if frontier.size:
             positions, owner_idx = gather_ranges(indptr, frontier)
-            charge_bfs_round(cost, positions.size, n)
+            charge_ball_growing_round(cost, positions.size, frontier.size, n)
             rounds += 1
             if positions.size:
                 nbrs = neighbors[positions]
@@ -157,9 +161,7 @@ def grow_balls(
                 cand_edge_parts.append(eids[mask])
         # Centers whose delay expires now and that are still unclaimed start
         # their own wave (claiming themselves).
-        act_end = activation_ptr
-        while act_end < centers_sorted.size and delays_sorted[act_end] == time:
-            act_end += 1
+        act_end = int(activation_bounds[time + 1])
         if act_end > activation_ptr:
             new_centers = centers_sorted[activation_ptr:act_end]
             new_centers = new_centers[owner[new_centers] < 0]

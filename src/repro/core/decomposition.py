@@ -18,13 +18,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.core.ball_growing import grow_balls
+from repro.graph._gather import gather_ranges
 from repro.graph.graph import Graph
-from repro.graph.shortest_paths import bfs_distances
 from repro.pram.model import CostModel, null_cost
 from repro.pram.primitives import charge_filter, charge_map, charge_reduce
 from repro.util.rng import RngLike, as_rng
@@ -202,12 +202,15 @@ def split_graph(
         cost.bump("split_graph_iterations")
 
     # Safety net: any vertex not covered (cannot happen when the loop ran to
-    # T, since then every alive vertex is its own center) becomes a singleton.
+    # T, since then every alive vertex is its own center) becomes a
+    # singleton — assigned in one bulk scatter pass.
     leftover = np.flatnonzero(labels < 0)
-    for v in leftover:
-        labels[v] = len(centers_out)
-        centers_out.append(int(v))
-        iteration_out.append(T + 1)
+    if leftover.size:
+        base = len(centers_out)
+        labels[leftover] = base + np.arange(leftover.size, dtype=np.int64)
+        centers_out.extend(leftover.tolist())
+        iteration_out.extend([T + 1] * leftover.size)
+        charge_map(cost, int(leftover.size))
 
     return Decomposition(
         labels=labels,
@@ -250,19 +253,38 @@ def cut_fraction_per_class(
 def decomposition_radii(graph: Graph, decomposition: Decomposition) -> np.ndarray:
     """Exact strong radius of every component (measured, for validation).
 
-    For each component, runs a BFS from the center restricted to the
-    component's vertices and returns the eccentricity of the center.
+    One level-synchronous BFS from *all* centers simultaneously, restricted
+    to same-component edges, replaces the per-component subgraph/dict
+    relabeling loop: every round is a bulk gather over the combined
+    frontier, and the radii fall out of a single scatter-max over the final
+    distance array.
     """
-    radii = np.zeros(decomposition.num_components, dtype=np.int64)
-    for idx in range(decomposition.num_components):
-        verts = decomposition.component_vertices(idx)
-        center = decomposition.centers[idx]
-        sub, _ = graph.induced_subgraph(verts)
-        local = {int(v): i for i, v in enumerate(verts)}
-        dist = bfs_distances(sub, local[int(center)])
-        if np.any(dist < 0):
-            raise AssertionError("component is not internally connected")
-        radii[idx] = int(dist.max(initial=0))
+    num_components = decomposition.num_components
+    radii = np.zeros(num_components, dtype=np.int64)
+    if num_components == 0:
+        return radii
+    labels = decomposition.labels
+    n = graph.n
+    indptr, neighbors, _ = graph.adjacency
+    dist = np.full(n, -1, dtype=np.int64)
+    frontier = np.asarray(decomposition.centers, dtype=np.int64)
+    dist[frontier] = 0
+    level = 0
+    while frontier.size:
+        positions, owner_idx = gather_ranges(indptr, frontier)
+        if positions.size == 0:
+            break
+        nbrs = neighbors[positions]
+        ok = (dist[nbrs] < 0) & (labels[nbrs] == labels[frontier[owner_idx]])
+        new = np.unique(nbrs[ok])
+        if new.size == 0:
+            break
+        level += 1
+        dist[new] = level
+        frontier = new
+    if np.any(dist < 0):
+        raise AssertionError("component is not internally connected")
+    np.maximum.at(radii, labels, dist)
     return radii
 
 

@@ -290,11 +290,14 @@ class LaplacianOperator:
     # recursive preconditioner (batched)
     # ------------------------------------------------------------------ #
     def _solve_bottom(self, b: np.ndarray) -> np.ndarray:
-        pinv = self.chain.bottom_pseudoinverse
-        n_d = pinv.shape[0]
+        solver = self.chain.bottom_solver
         width = b.shape[1] if b.ndim == 2 else 1
-        self.cost.charge(work=float(n_d) ** 2 * width, depth=math.log2(max(n_d, 2)))
-        return pinv @ np.asarray(b, dtype=float)
+        # Two triangular sweeps over the sparse factor per column.
+        self.cost.charge(
+            work=float(max(solver.factor_nnz, solver.n)) * width,
+            depth=math.log2(max(solver.n, 2)),
+        )
+        return solver.solve(b)
 
     def _apply_preconditioner(self, level_index: int, r: np.ndarray, inner: str) -> np.ndarray:
         """Approximate ``B_i^+ r`` via compiled elimination transfer + recursive solve."""

@@ -35,7 +35,7 @@ from repro.core.decomposition import partition
 from repro.graph.contraction import contract_vertices
 from repro.graph.graph import Graph
 from repro.pram.model import CostModel, null_cost
-from repro.pram.primitives import charge_filter, charge_map
+from repro.pram.primitives import charge_filter, charge_semisort
 from repro.util.rng import RngLike, as_rng
 
 
@@ -181,20 +181,24 @@ def well_spaced_split(
     max_class = int(classes.max(initial=1))
     group_size = max(int(math.ceil(tau / theta)), tau + 1)
     counts = np.bincount(classes, minlength=max_class + 2)
+    # Sliding-window sums over the class histogram via one prefix-sum pass:
+    # window_sums[c] = edges in classes [c, c + tau).
+    prefix = np.concatenate([[0], np.cumsum(counts)])
+    window_sums = prefix[tau:] - prefix[:-tau]
 
     for group_start in range(1, max_class + 1, group_size):
         group_end = min(group_start + group_size - 1, max_class)
         if group_end - group_start + 1 <= tau:
             continue
-        group_total = counts[group_start : group_end + 1].sum()
-        # Find the window of tau consecutive classes with the fewest edges.
-        best_start, best_count = None, None
-        for lo in range(group_start, group_end - tau + 2):
-            window = counts[lo : lo + tau].sum()
-            if best_count is None or window < best_count:
-                best_start, best_count = lo, window
-        if best_start is None:
+        group_total = int(prefix[group_end + 1] - prefix[group_start])
+        # Window of tau consecutive classes with the fewest edges, found by
+        # an argmin over the precomputed sliding sums (first minimum wins,
+        # matching the sequential scan this replaces).
+        lo_candidates = window_sums[group_start : group_end - tau + 2]
+        if lo_candidates.size == 0:
             continue
+        best_start = group_start + int(np.argmin(lo_candidates))
+        best_count = int(lo_candidates[best_start - group_start])
         if group_total > 0 and best_count > theta * group_total:
             # An averaging argument guarantees this cannot happen when the
             # group has >= tau/theta classes; guard anyway.
@@ -231,7 +235,8 @@ def sparse_akpw(
 
     edge_class = graph.weight_buckets(params.z)
     max_class = int(edge_class.max(initial=1))
-    charge_map(cost, m)
+    # Bucket grouping is a semisort of the edge keys (O(m) work, log depth).
+    charge_semisort(cost, m)
 
     current = Graph(n, graph.u.copy(), graph.v.copy(), graph.w.copy())
     orig_ids = np.arange(m, dtype=np.int64)
@@ -303,7 +308,7 @@ def sparse_akpw(
     if current.num_edges > 0:
         from repro.graph.mst import minimum_spanning_tree_edges
 
-        leftover = minimum_spanning_tree_edges(current)
+        leftover = minimum_spanning_tree_edges(current, cost=cost)
         if leftover.size:
             tree_edges.append(orig_ids[leftover])
 

@@ -93,6 +93,7 @@ def incremental_sparsify(
     oversample: float = 1.0,
     use_log_factor: bool = True,
     reweight: bool = False,
+    stretch_edges: Optional[np.ndarray] = None,
 ) -> SparsifyResult:
     """Lemma 6.1: build a preconditioner ``H`` with ``G ⪯ H ⪯ O(kappa)·G``.
 
@@ -111,6 +112,16 @@ def incremental_sparsify(
         Include the ``log n`` oversampling factor of the high-probability
         bound (True, the paper's setting); turning it off gives smaller
         preconditioners whose quality is checked empirically.
+    stretch_edges:
+        Optional edge subset (of ``subgraph_edges``) against which the
+        sampling stretches are measured; defaults to ``subgraph_edges``.
+        Passing the spanning-*forest* part of the low-stretch subgraph keeps
+        the measurement on the vectorized LCA path (one rooted-forest pass
+        plus bulk binary lifting) instead of all-sources Dijkstra over a
+        cyclic subgraph.  Forest stretches upper-bound subgraph stretches,
+        so sampling probabilities only grow — the Lemma 6.1 oversampling
+        argument is unaffected (this is exactly the tree-based sampling of
+        [KMP10] that the paper builds on).
     reweight:
         When True, sampled edges get weight ``w_e / p_e`` so that
         ``E[L_H] = L_G`` (the unbiased estimator the matrix-Chernoff analysis
@@ -132,9 +143,11 @@ def incremental_sparsify(
     if kappa <= 1:
         raise ValueError("kappa must be > 1")
     n, m = graph.n, graph.num_edges
-    subgraph_edges = np.asarray(subgraph_edges, dtype=np.int64)
+    subgraph_edges = np.asarray(subgraph_edges)
     if subgraph_edges.dtype == bool:
         subgraph_edges = np.flatnonzero(subgraph_edges)
+    else:
+        subgraph_edges = subgraph_edges.astype(np.int64)
     in_subgraph = np.zeros(m, dtype=bool)
     in_subgraph[subgraph_edges] = True
     off_edges = np.flatnonzero(~in_subgraph)
@@ -149,7 +162,15 @@ def incremental_sparsify(
             stats={"total_stretch": 0.0, "expected_samples": 0.0},
         )
 
-    stretches = resistive_stretches(graph, subgraph_edges, off_edges)
+    if stretch_edges is None:
+        stretch_basis = subgraph_edges
+    else:
+        stretch_basis = np.asarray(stretch_edges)
+        if stretch_basis.dtype == bool:
+            stretch_basis = np.flatnonzero(stretch_basis)
+        else:
+            stretch_basis = stretch_basis.astype(np.int64)
+    stretches = resistive_stretches(graph, stretch_basis, off_edges)
     charge_map(cost, off_edges.size, per_item_work=math.log2(max(n, 2)))
     log_factor = math.log2(max(n, 2)) if use_log_factor else 1.0
     probs = np.minimum(1.0, oversample * stretches * log_factor / kappa)

@@ -21,6 +21,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.graph.forest import is_forest_edges, root_forest
 from repro.graph.graph import Graph
 from repro.graph.shortest_paths import shortest_path_distances
 
@@ -31,44 +32,28 @@ def _tree_structure(
     """Root every tree component and return parents / depths / components.
 
     Returns ``(parent, parent_weight, hop_depth, weighted_depth, component)``
-    arrays indexed by vertex.  Roots have ``parent == -1``.
+    arrays indexed by vertex.  Roots have ``parent == -1``.  Rooting is the
+    vectorized Euler-tour / pointer-jumping pass of
+    :func:`repro.graph.forest.root_forest` (O(log n) bulk sweeps) rather
+    than a per-vertex DFS; the outputs are identical because the tree
+    structure determines parents and depths uniquely given each tree's
+    smallest-vertex root.
     """
     n = graph.n
     tree_edges = np.asarray(tree_edges, dtype=np.int64)
-    tree = graph.edge_subgraph(tree_edges)
-    if tree.num_edges >= n:
+    if tree_edges.shape[0] >= max(n, 1):
         raise ValueError("tree_edges contains a cycle (too many edges)")
-    indptr, neighbors, local_eids = tree.adjacency
-
-    parent = np.full(n, -1, dtype=np.int64)
-    parent_w = np.zeros(n, dtype=np.float64)
-    hop_depth = np.zeros(n, dtype=np.int64)
-    w_depth = np.zeros(n, dtype=np.float64)
-    component = np.full(n, -1, dtype=np.int64)
-
-    visited = np.zeros(n, dtype=bool)
-    comp = 0
-    for root in range(n):
-        if visited[root]:
-            continue
-        visited[root] = True
-        component[root] = comp
-        stack = [root]
-        while stack:
-            x = stack.pop()
-            for pos in range(indptr[x], indptr[x + 1]):
-                y = int(neighbors[pos])
-                if visited[y]:
-                    continue
-                visited[y] = True
-                component[y] = comp
-                parent[y] = x
-                parent_w[y] = tree.w[local_eids[pos]]
-                hop_depth[y] = hop_depth[x] + 1
-                w_depth[y] = w_depth[x] + parent_w[y]
-                stack.append(y)
-        comp += 1
-    return parent, parent_w, hop_depth, w_depth, component
+    try:
+        rooted = root_forest(n, graph.u[tree_edges], graph.v[tree_edges], graph.w[tree_edges])
+    except ValueError as exc:
+        raise ValueError(f"tree_edges contains a cycle ({exc})") from exc
+    return (
+        rooted.parent,
+        rooted.parent_weight,
+        rooted.hop_depth,
+        rooted.weighted_depth,
+        rooted.component,
+    )
 
 
 def tree_stretches(
@@ -104,9 +89,14 @@ def tree_stretches(
     qv = graph.v[query_edges].copy()
     weights = graph.w[query_edges]
 
-    # Binary lifting ancestor tables.
+    # Binary lifting ancestor tables.  The table must cover every bit of a
+    # depth difference, i.e. ``bit_length(max_depth)`` lifts plus the base
+    # row; the previous float ``ceil(log2(max_depth + 1))`` expression could
+    # misround near powers of two, and for all-root forests
+    # (``max_depth == 0``, e.g. single-vertex components) one identity row
+    # suffices.
     max_depth = int(hop_depth.max(initial=0))
-    levels = max(1, int(np.ceil(np.log2(max_depth + 1))) + 1)
+    levels = 1 + max_depth.bit_length()
     up = np.empty((levels, n), dtype=np.int64)
     root_mask = parent < 0
     up[0] = np.where(root_mask, np.arange(n), parent)
@@ -142,16 +132,13 @@ def tree_stretches(
 
 
 def _is_forest(graph: Graph, edge_indices: np.ndarray) -> bool:
-    """Whether the edge subset is acyclic (a forest)."""
-    from repro.graph.union_find import UnionFind
+    """Whether the edge subset is acyclic (a forest).
 
-    if edge_indices.shape[0] >= graph.n:
-        return False
-    uf = UnionFind(graph.n)
-    for e in edge_indices:
-        if not uf.union(int(graph.u[e]), int(graph.v[e])):
-            return False
-    return True
+    Delegates to the shared bulk union-find check (an edge set is a forest
+    iff ``m == n - num_components``), replacing the per-edge Python union
+    loop.
+    """
+    return is_forest_edges(graph.n, graph.u[edge_indices], graph.v[edge_indices])
 
 
 def edge_stretches(
@@ -165,9 +152,11 @@ def edge_stretches(
     For forests this dispatches to the fast LCA path; otherwise it runs
     chunked Dijkstra on the subgraph.
     """
-    subgraph_edges = np.asarray(subgraph_edges, dtype=np.int64)
+    subgraph_edges = np.asarray(subgraph_edges)
     if subgraph_edges.dtype == bool:
         subgraph_edges = np.flatnonzero(subgraph_edges)
+    else:
+        subgraph_edges = subgraph_edges.astype(np.int64)
     if query_edges is None:
         query_edges = np.arange(graph.num_edges, dtype=np.int64)
     else:

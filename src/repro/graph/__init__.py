@@ -9,9 +9,10 @@ here from scratch on top of NumPy/SciPy arrays:
   Gremban reduction from general SDD systems to Laplacians.
 * :mod:`~repro.graph.components`, :mod:`~repro.graph.shortest_paths`,
   :mod:`~repro.graph.mst`, :mod:`~repro.graph.contraction`,
-  :mod:`~repro.graph.union_find` — classic graph primitives used as
-  sub-routines (connected components, BFS/Dijkstra, Kruskal MST, vertex
-  quotients, disjoint sets).
+  :mod:`~repro.graph.union_find`, :mod:`~repro.graph.forest` — classic
+  graph primitives used as sub-routines (connected components, BFS/Dijkstra,
+  Borůvka spanning forests, vertex quotients, bulk disjoint sets, and
+  vectorized forest rooting via Euler tours + pointer jumping).
 """
 
 from repro.graph.graph import Graph
@@ -32,7 +33,8 @@ from repro.graph.shortest_paths import (
     shortest_path_distances,
 )
 from repro.graph.contraction import contract_vertices
-from repro.graph.union_find import UnionFind
+from repro.graph.union_find import UnionFind, connected_components_arrays
+from repro.graph.forest import RootedForest, forest_components, is_forest_edges, root_forest
 from repro.graph import generators
 
 __all__ = [
@@ -54,5 +56,10 @@ __all__ = [
     "shortest_path_distances",
     "contract_vertices",
     "UnionFind",
+    "connected_components_arrays",
+    "RootedForest",
+    "forest_components",
+    "is_forest_edges",
+    "root_forest",
     "generators",
 ]

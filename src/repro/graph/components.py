@@ -1,8 +1,11 @@
-"""Connected components via frontier-synchronous BFS.
+"""Connected components via bulk union-find (hooking + pointer jumping).
 
-Also charges PRAM cost when given a cost model: components are found by
-parallel BFS, O(component diameter) rounds per component with work
-proportional to edges scanned.
+Components are found with the array union-find's min-root hooking rounds —
+O(log n) sweeps of O(n + m) vectorized work and O(1) depth each, the
+log-diameter connectivity style of Andoni et al. — instead of a per-source
+Python BFS loop.  Labels are numbered by each component's smallest vertex,
+matching the vertex-order BFS numbering this replaces.  Cost models are
+charged one round per sweep.
 """
 
 from __future__ import annotations
@@ -11,39 +14,15 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.graph._gather import gather_ranges
 from repro.graph.graph import Graph
+from repro.graph.union_find import connected_components_arrays
 from repro.pram.model import CostModel, null_cost
-from repro.pram.primitives import charge_bfs_round
 
 
 def connected_components(graph: Graph, cost: Optional[CostModel] = None) -> Tuple[int, np.ndarray]:
     """Number of components and a per-vertex component label array."""
     cost = cost or null_cost()
-    n = graph.n
-    labels = np.full(n, -1, dtype=np.int64)
-    if n == 0:
-        return 0, labels
-    indptr, neighbors, _ = graph.adjacency
-    comp = 0
-    for start in range(n):
-        if labels[start] >= 0:
-            continue
-        labels[start] = comp
-        frontier = np.array([start], dtype=np.int64)
-        while frontier.size:
-            positions, _ = gather_ranges(indptr, frontier)
-            charge_bfs_round(cost, positions.size, n)
-            if positions.size == 0:
-                break
-            nbrs = np.unique(neighbors[positions])
-            new = nbrs[labels[nbrs] < 0]
-            if new.size == 0:
-                break
-            labels[new] = comp
-            frontier = new
-        comp += 1
-    return comp, labels
+    return connected_components_arrays(graph.n, graph.u, graph.v, cost=cost)
 
 
 def is_connected(graph: Graph) -> bool:

@@ -1,56 +1,103 @@
-"""Minimum / maximum spanning forests (Kruskal with union-find).
+"""Minimum / maximum spanning forests (vectorized Borůvka rounds).
 
 The MST is used by the spread-independence trick of Lemma 5.8: to start
 SparseAKPW at a "special" weight class without running all earlier
 iterations, one contracts the MST edges from lower classes.  Returning edge
 *indices* (rather than a matrix, as ``scipy`` does) is essential because the
 AKPW drivers track original edge identities through contractions.
+
+The forest is found by Borůvka rounds — every component selects its
+minimum incident edge under the total order ``(weight, edge index)``, the
+selected edges are merged with the bulk array union-find, and the process
+repeats for O(log n) rounds of O(m) vectorized work.  Because the order is
+total, the minimum spanning forest is unique and the output is *identical*
+(same edge indices, same order) to the sequential Kruskal scan this
+replaces.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.graph.graph import Graph
-from repro.graph.union_find import UnionFind
+from repro.graph.union_find import UnionFind, connected_components_arrays
+from repro.pram.model import CostModel, null_cost
+from repro.pram.primitives import charge_map
 
 
-def _spanning_forest_edges(graph: Graph, order: np.ndarray) -> np.ndarray:
-    uf = UnionFind(graph.n)
+def _spanning_forest_edges(
+    graph: Graph, order: np.ndarray, cost: Optional[CostModel] = None
+) -> np.ndarray:
+    """Spanning forest minimizing the total order given by ``order``.
+
+    ``order`` lists all edge indices from most to least preferred (e.g. the
+    stable argsort by weight); the unique optimal spanning forest under that
+    total order is returned, sorted by preference — exactly what a
+    sequential Kruskal scan over ``order`` would select.
+    """
+    cost = cost or null_cost()
+    n, m = graph.n, graph.num_edges
+    rank = np.empty(m, dtype=np.int64)
+    rank[order] = np.arange(m, dtype=np.int64)
+    charge_map(cost, m)
+
+    uf = UnionFind(n)
+    labels = np.arange(n, dtype=np.int64)
+    alive = np.arange(m, dtype=np.int64)
     chosen = []
-    for e in order:
-        if uf.union(int(graph.u[e]), int(graph.v[e])):
-            chosen.append(e)
-            if uf.num_sets == 1:
-                break
-    return np.asarray(chosen, dtype=np.int64)
+    sentinel = m
+    while alive.size:
+        lu = labels[graph.u[alive]]
+        lv = labels[graph.v[alive]]
+        cross = lu != lv
+        alive = alive[cross]
+        if alive.size == 0:
+            break
+        lu = lu[cross]
+        lv = lv[cross]
+        # Each component claims its minimum-rank incident edge (cut
+        # property: with a total order that edge is in the unique MSF).
+        best = np.full(n, sentinel, dtype=np.int64)
+        r = rank[alive]
+        np.minimum.at(best, lu, r)
+        np.minimum.at(best, lv, r)
+        cost.charge_round(work=float(alive.size), depth=1.0)
+        selected = order[np.unique(best[best < sentinel])]
+        chosen.append(selected)
+        uf.union_arrays(graph.u[selected], graph.v[selected], cost=cost)
+        labels = uf.parent  # flattened by union_arrays
+    if not chosen:
+        return np.empty(0, dtype=np.int64)
+    out = np.concatenate(chosen)
+    return out[np.argsort(rank[out], kind="stable")]
 
 
-def minimum_spanning_tree_edges(graph: Graph) -> np.ndarray:
-    """Edge indices of a minimum-weight spanning forest (Kruskal)."""
+def minimum_spanning_tree_edges(graph: Graph, cost: Optional[CostModel] = None) -> np.ndarray:
+    """Edge indices of a minimum-weight spanning forest."""
     if graph.num_edges == 0:
         return np.empty(0, dtype=np.int64)
     order = np.argsort(graph.w, kind="stable")
-    return _spanning_forest_edges(graph, order)
+    return _spanning_forest_edges(graph, order, cost=cost)
 
 
-def maximum_spanning_tree_edges(graph: Graph) -> np.ndarray:
+def maximum_spanning_tree_edges(graph: Graph, cost: Optional[CostModel] = None) -> np.ndarray:
     """Edge indices of a maximum-weight spanning forest."""
     if graph.num_edges == 0:
         return np.empty(0, dtype=np.int64)
     order = np.argsort(-graph.w, kind="stable")
-    return _spanning_forest_edges(graph, order)
+    return _spanning_forest_edges(graph, order, cost=cost)
 
 
 def is_spanning_forest(graph: Graph, edge_indices: np.ndarray) -> bool:
     """Check that the edge set is acyclic and spans every component of ``graph``."""
     edge_indices = np.asarray(edge_indices, dtype=np.int64)
-    uf = UnionFind(graph.n)
-    for e in edge_indices:
-        if not uf.union(int(graph.u[e]), int(graph.v[e])):
-            return False  # cycle
-    # Spanning: same number of components as the full graph.
-    uf_full = UnionFind(graph.n)
-    for e in range(graph.num_edges):
-        uf_full.union(int(graph.u[e]), int(graph.v[e]))
-    return uf.num_sets == uf_full.num_sets
+    n = graph.n
+    sub_u = graph.u[edge_indices]
+    sub_v = graph.v[edge_indices]
+    count_sub, _ = connected_components_arrays(n, sub_u, sub_v)
+    if int(edge_indices.shape[0]) != n - count_sub:
+        return False  # cycle (or repeated edge index)
+    count_full, _ = connected_components_arrays(n, graph.u, graph.v)
+    return count_sub == count_full

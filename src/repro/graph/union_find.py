@@ -1,12 +1,39 @@
-"""Disjoint-set (union-find) data structure.
+"""Disjoint-set (union-find) with scalar *and* bulk array operations.
 
-Used by Kruskal's MST, graph contraction bookkeeping, and the AKPW driver to
-maintain super-vertex labels across iterations.
+Used by Kruskal/Borůvka spanning forests, graph contraction bookkeeping, the
+AKPW driver, and the forest-rooting pipeline.  Two interfaces coexist:
+
+* the classic scalar ``find`` / ``union`` (path compression + union by
+  size), kept for incremental callers, and
+* bulk array operations (:meth:`UnionFind.union_arrays`,
+  :meth:`UnionFind.find_many`) that process whole edge arrays with min-root
+  hooking and pointer-jumping (path-halving) sweeps — O(log n) sweeps of
+  O(n + m) vectorized work, the CRCW hooking scheme the paper's parallel
+  connectivity primitives assume.
+
+:func:`connected_components_arrays` is the shared entry point for "labels of
+the graph spanned by these edges" that the MST, forest rooting, stretch
+measurement, and component utilities all use.
 """
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
+
+from repro.pram.model import CostModel, null_cost
+from repro.pram.primitives import charge_pointer_jump
+
+
+def _flatten(parent: np.ndarray, cost: CostModel) -> np.ndarray:
+    """Pointer-jump ``parent`` to a depth-1 forest (every entry a root)."""
+    while True:
+        grand = parent[parent]
+        charge_pointer_jump(cost, parent.shape[0])
+        if np.array_equal(grand, parent):
+            return parent
+        parent[:] = grand
 
 
 class UnionFind:
@@ -50,14 +77,93 @@ class UnionFind:
         """Whether ``a`` and ``b`` are in the same set."""
         return self.find(a) == self.find(b)
 
-    def labels(self, compact: bool = True) -> np.ndarray:
-        """Per-element set labels.
+    # ------------------------------------------------------------------ #
+    # bulk array operations
+    # ------------------------------------------------------------------ #
+    def find_many(self, xs: np.ndarray, cost: Optional[CostModel] = None) -> np.ndarray:
+        """Representatives of every element of ``xs`` (vectorized).
 
-        With ``compact=True`` labels are renumbered ``0..num_sets-1`` in order
-        of first appearance.
+        Flattens the whole parent forest by pointer jumping first, so
+        repeated bulk queries are O(1) gathers.
         """
-        roots = np.array([self.find(i) for i in range(self.parent.shape[0])], dtype=np.int64)
+        cost = cost or null_cost()
+        _flatten(self.parent, cost)
+        return self.parent[np.asarray(xs, dtype=np.int64)]
+
+    def union_arrays(
+        self, us: np.ndarray, vs: np.ndarray, cost: Optional[CostModel] = None
+    ) -> int:
+        """Merge the sets of every pair ``(us[i], vs[i])`` in bulk.
+
+        Runs min-root hooking rounds (concurrent writes resolved by
+        ``np.minimum.at``) interleaved with pointer-jumping flattening until
+        every pair is merged — O(log n) rounds.  Returns the number of
+        distinct sets that were merged away.
+        """
+        cost = cost or null_cost()
+        us = np.asarray(us, dtype=np.int64).ravel()
+        vs = np.asarray(vs, dtype=np.int64).ravel()
+        if us.shape != vs.shape:
+            raise ValueError("us and vs must have the same shape")
+        parent = self.parent
+        before = self._count
+        if us.size:
+            while True:
+                _flatten(parent, cost)
+                ru = parent[us]
+                rv = parent[vs]
+                live = ru != rv
+                charge_pointer_jump(cost, us.shape[0])
+                if not np.any(live):
+                    break
+                lo = np.minimum(ru[live], rv[live])
+                hi = np.maximum(ru[live], rv[live])
+                np.minimum.at(parent, hi, lo)
+        _flatten(parent, cost)
+        counts = np.bincount(parent, minlength=parent.shape[0])
+        self.size = counts[parent].astype(np.int64)
+        self._count = int(np.count_nonzero(counts))
+        return before - self._count
+
+    def labels(self, compact: bool = True) -> np.ndarray:
+        """Per-element set labels (vectorized via pointer jumping).
+
+        With ``compact=True`` labels are renumbered ``0..num_sets-1`` in
+        order of first appearance (equivalently by each set's smallest
+        element), which makes the numbering independent of which internal
+        representative a merge sequence happened to pick.
+        """
+        roots = _flatten(self.parent, null_cost()).copy()
         if not compact:
             return roots
-        _, labels = np.unique(roots, return_inverse=True)
-        return labels.astype(np.int64)
+        _, first_index, inverse = np.unique(roots, return_index=True, return_inverse=True)
+        rank = np.empty(first_index.shape[0], dtype=np.int64)
+        rank[np.argsort(first_index, kind="stable")] = np.arange(
+            first_index.shape[0], dtype=np.int64
+        )
+        return rank[inverse].astype(np.int64)
+
+
+def connected_components_arrays(
+    n: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    cost: Optional[CostModel] = None,
+) -> Tuple[int, np.ndarray]:
+    """Connected components of the graph ``(n, u, v)`` via bulk union-find.
+
+    Returns ``(count, labels)`` with labels compacted to ``0..count-1`` in
+    increasing order of each component's smallest vertex — the same
+    numbering a vertex-order BFS sweep produces.  O(log n) hooking +
+    pointer-jumping sweeps, each a vectorized O(n + m) pass.
+    """
+    cost = cost or null_cost()
+    u = np.asarray(u, dtype=np.int64).ravel()
+    v = np.asarray(v, dtype=np.int64).ravel()
+    if n == 0:
+        return 0, np.empty(0, dtype=np.int64)
+    uf = UnionFind(n)
+    uf.union_arrays(u, v, cost=cost)
+    roots = uf.parent  # flattened by union_arrays
+    uniq, labels = np.unique(roots, return_inverse=True)
+    return int(uniq.shape[0]), labels.astype(np.int64)

@@ -84,3 +84,58 @@ def charge_bfs_round(cost: CostModel, frontier_edges: int, n: int) -> None:
     O(log n) depth per level and work proportional to the edges scanned.
     """
     cost.charge_round(work=float(max(frontier_edges, 1)), depth=log2ceil(n))
+
+
+def charge_ball_growing_round(
+    cost: CostModel, scanned_edges: int, candidates: int, n: int
+) -> None:
+    """One synchronous round of delayed multi-source ball growing.
+
+    The round scans the frontier's adjacency (``scanned_edges`` entries) and
+    resolves ownership conflicts among ``candidates`` claimed vertices by a
+    semisort — O(scanned + candidates) work and O(log n) depth, the
+    parallel-ball-growing cost of Section 2 used by Theorem 4.1's depth
+    bound of O(rho log^2 n).
+    """
+    cost.charge_round(
+        work=float(max(scanned_edges, 1)) + float(max(candidates, 0)),
+        depth=log2ceil(n),
+    )
+
+
+def charge_pointer_jump(cost: CostModel, n: int) -> None:
+    """One pointer-jumping sweep ``p <- p[p]`` over ``n`` pointers.
+
+    O(n) work and O(1) depth per sweep; O(log n) sweeps flatten any forest,
+    which is the bulk connectivity / hooking primitive of the
+    Andoni et al. log-diameter connectivity style used by the array
+    union-find and the forest-rooting pipeline.
+    """
+    if n <= 0:
+        return
+    cost.charge_round(work=float(n), depth=1.0)
+
+
+def charge_rooting_sweep(cost: CostModel, arcs: int) -> None:
+    """One list-ranking / Euler-tour sweep over ``arcs`` tour arcs.
+
+    Rooting a forest takes O(log n) such sweeps (pointer doubling over the
+    Euler tour successors), for O(m log n) total work and O(log n) depth —
+    the parallel tree-rooting bound the low-stretch pipeline charges per
+    rooting pass.
+    """
+    if arcs <= 0:
+        return
+    cost.charge_round(work=float(arcs), depth=1.0)
+
+
+def charge_semisort(cost: CostModel, n: int) -> None:
+    """Semisort / bucket-group ``n`` integer keys bounded by ``poly(n)``.
+
+    Randomized semisorting is O(n) work and O(log n) depth; this is the
+    primitive behind the AKPW weight-class bucket grouping and the
+    owner-resolution steps of ball growing.
+    """
+    if n <= 0:
+        return
+    cost.charge(work=float(n), depth=log2ceil(n))

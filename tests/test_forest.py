@@ -1,0 +1,342 @@
+"""Tests for the vectorized forest rooting / bulk union-find pipeline.
+
+The vectorized implementations (Euler-tour rooting, bulk hooking union-find,
+Borůvka spanning forests, bulk-BFS decomposition radii) are pinned against
+small sequential reference implementations — the per-vertex DFS, per-edge
+Kruskal scan, and per-component dict-relabeling loops they replaced — on
+fixed seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import decomposition_radii, split_graph
+from repro.core.stretch import _is_forest, tree_stretches
+from repro.graph import generators
+from repro.graph.forest import forest_components, is_forest_edges, root_forest
+from repro.graph.graph import Graph
+from repro.graph.mst import (
+    is_spanning_forest,
+    maximum_spanning_tree_edges,
+    minimum_spanning_tree_edges,
+)
+from repro.graph.shortest_paths import bfs_distances
+from repro.graph.union_find import UnionFind, connected_components_arrays
+from repro.pram.model import CostModel
+
+
+# --------------------------------------------------------------------------- #
+# sequential reference implementations (the code paths this PR replaced)
+# --------------------------------------------------------------------------- #
+def reference_root_forest(n, u, v, w):
+    """Per-vertex DFS rooting, as stretch._tree_structure used to do it."""
+    g = Graph(n, u, v, w)
+    indptr, neighbors, local_eids = g.adjacency
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_w = np.zeros(n)
+    hop = np.zeros(n, dtype=np.int64)
+    wd = np.zeros(n)
+    comp = np.full(n, -1, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
+    c = 0
+    for root in range(n):
+        if visited[root]:
+            continue
+        visited[root] = True
+        comp[root] = c
+        stack = [root]
+        while stack:
+            x = stack.pop()
+            for pos in range(indptr[x], indptr[x + 1]):
+                y = int(neighbors[pos])
+                if visited[y]:
+                    continue
+                visited[y] = True
+                comp[y] = c
+                parent[y] = x
+                parent_w[y] = g.w[local_eids[pos]]
+                hop[y] = hop[x] + 1
+                wd[y] = wd[x] + parent_w[y]
+                stack.append(y)
+        c += 1
+    return parent, parent_w, hop, wd, comp
+
+
+def reference_kruskal(graph, order):
+    """Per-edge union-find scan, as graph.mst used to do it."""
+    uf = UnionFind(graph.n)
+    chosen = []
+    for e in order:
+        if uf.union(int(graph.u[e]), int(graph.v[e])):
+            chosen.append(e)
+    return np.asarray(chosen, dtype=np.int64)
+
+
+def reference_is_forest(graph, edge_indices):
+    """Per-edge union loop, as core.stretch._is_forest used to do it."""
+    if edge_indices.shape[0] >= graph.n:
+        return False
+    uf = UnionFind(graph.n)
+    for e in edge_indices:
+        if not uf.union(int(graph.u[e]), int(graph.v[e])):
+            return False
+    return True
+
+
+def reference_radii(graph, decomposition):
+    """Per-component dict-relabeled BFS, as decomposition_radii used to do it."""
+    radii = np.zeros(decomposition.num_components, dtype=np.int64)
+    for idx in range(decomposition.num_components):
+        verts = decomposition.component_vertices(idx)
+        center = decomposition.centers[idx]
+        sub, _ = graph.induced_subgraph(verts)
+        local = {int(v): i for i, v in enumerate(verts)}
+        dist = bfs_distances(sub, local[int(center)])
+        assert not np.any(dist < 0)
+        radii[idx] = int(dist.max(initial=0))
+    return radii
+
+
+def assert_matches_reference(n, u, v, w):
+    rooted = root_forest(n, u, v, w)
+    parent, parent_w, hop, wd, comp = reference_root_forest(n, u, v, w)
+    assert np.array_equal(rooted.parent, parent)
+    assert np.allclose(rooted.parent_weight, parent_w)
+    assert np.array_equal(rooted.hop_depth, hop)
+    assert np.allclose(rooted.weighted_depth, wd)
+    assert np.array_equal(rooted.component, comp)
+
+
+# --------------------------------------------------------------------------- #
+# root_forest
+# --------------------------------------------------------------------------- #
+class TestRootForest:
+    def test_path_extreme(self):
+        g = generators.path_graph(257)
+        assert_matches_reference(g.n, g.u, g.v, g.w)
+        rooted = root_forest(g.n, g.u, g.v, g.w)
+        assert rooted.hop_depth.max() == 256
+        assert rooted.num_trees == 1
+
+    def test_star_extreme(self):
+        g = generators.star_graph(100)
+        assert_matches_reference(g.n, g.u, g.v, g.w)
+        rooted = root_forest(g.n, g.u, g.v, g.w)
+        assert rooted.hop_depth.max() == 1
+        assert np.all(rooted.parent[1:] == 0)
+
+    def test_caterpillar_extreme(self):
+        # Spine 0-1-...-19 with three legs hanging off every spine vertex.
+        spine = 20
+        legs = 3
+        su = np.arange(spine - 1)
+        sv = su + 1
+        lu = np.repeat(np.arange(spine), legs)
+        lv = spine + np.arange(spine * legs)
+        n = spine + spine * legs
+        u = np.concatenate([su, lu])
+        v = np.concatenate([sv, lv])
+        w = np.linspace(0.5, 2.0, u.size)
+        assert_matches_reference(n, u, v, w)
+        rooted = root_forest(n, u, v, w)
+        assert rooted.hop_depth.max() == spine  # deepest leg off the far end
+
+    def test_disconnected_forest(self):
+        # Three trees (path, star, single edge) plus isolated vertices.
+        u = np.array([0, 1, 5, 5, 5, 10, 2])
+        v = np.array([1, 2, 6, 7, 8, 11, 3])
+        n = 14
+        assert_matches_reference(n, u, v, np.ones(u.size))
+        rooted = root_forest(n, u, v)
+        assert rooted.num_trees == n - u.size
+        # Components numbered by increasing root vertex; isolated vertices
+        # are their own roots.
+        assert rooted.roots.tolist() == sorted(rooted.roots.tolist())
+        for iso in (4, 9, 12, 13):
+            assert rooted.parent[iso] == -1
+            assert rooted.hop_depth[iso] == 0
+
+    def test_parallel_edge_host_graph(self):
+        # A multigraph with a parallel pair: selecting one copy is a valid
+        # forest and roots fine.
+        g = Graph(3, [0, 0, 1], [1, 1, 2], [1.0, 3.0, 2.0])
+        rooted = root_forest(g.n, g.u[[1, 2]], g.v[[1, 2]], g.w[[1, 2]])
+        assert rooted.parent[1] == 0
+        assert rooted.parent_weight[1] == pytest.approx(3.0)
+        # tree_stretches over that forest sees the *other* parallel copy as
+        # a query edge with stretch d_T(0,1)/w = 3.0 / 1.0.
+        stretches = tree_stretches(g, np.array([1, 2]), query_edges=np.array([0]))
+        assert stretches[0] == pytest.approx(3.0)
+
+    def test_parallel_edges_rejected(self):
+        # Both copies of a parallel pair form a 2-cycle: not a forest.
+        with pytest.raises(ValueError):
+            root_forest(2, [0, 0], [1, 1])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            root_forest(3, [0, 1, 2], [1, 2, 0])
+
+    def test_empty_and_singleton(self):
+        rooted = root_forest(0, [], [])
+        assert rooted.num_trees == 0
+        rooted = root_forest(1, [], [])
+        assert rooted.num_trees == 1
+        assert rooted.parent[0] == -1
+
+    def test_random_forests_match_reference(self):
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            n = int(rng.integers(2, 60))
+            g = generators.erdos_renyi_gnm(
+                n,
+                min(n * (n - 1) // 2, int(rng.integers(0, 3 * n))),
+                seed=int(rng.integers(10**6)),
+                connected=False,
+            )
+            if g.num_edges == 0:
+                continue
+            gw = g.reweighted(rng.random(g.num_edges) + 0.1)
+            t = minimum_spanning_tree_edges(gw)
+            assert_matches_reference(n, gw.u[t], gw.v[t], gw.w[t])
+
+    def test_cost_charged(self):
+        g = generators.path_graph(64)
+        cost = CostModel()
+        root_forest(g.n, g.u, g.v, g.w, cost=cost)
+        assert cost.work > 0
+        assert cost.rounds > 0
+        # Pointer jumping: rounds are logarithmic, not linear, in the depth.
+        assert cost.rounds < 64
+
+
+# --------------------------------------------------------------------------- #
+# bulk union-find / components
+# --------------------------------------------------------------------------- #
+class TestBulkUnionFind:
+    def test_union_arrays_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            n = int(rng.integers(2, 50))
+            m = int(rng.integers(0, 3 * n))
+            u = rng.integers(0, n, size=m)
+            v = rng.integers(0, n, size=m)
+            keep = u != v
+            u, v = u[keep], v[keep]
+            bulk = UnionFind(n)
+            bulk.union_arrays(u, v)
+            scalar = UnionFind(n)
+            for a, b in zip(u, v):
+                scalar.union(int(a), int(b))
+            assert bulk.num_sets == scalar.num_sets
+            assert np.array_equal(bulk.labels(), scalar.labels())
+
+    def test_mixed_scalar_and_bulk(self):
+        uf = UnionFind(8)
+        uf.union_arrays([0, 2], [1, 3])
+        assert uf.union(1, 2)
+        assert uf.connected(0, 3)
+        assert uf.num_sets == 5
+
+    def test_component_labels_by_min_vertex(self):
+        count, labels = connected_components_arrays(6, [4, 1], [5, 2])
+        assert count == 4
+        # labels numbered by each component's smallest vertex: {0},{1,2},{3},{4,5}
+        assert labels.tolist() == [0, 1, 1, 2, 3, 3]
+
+
+# --------------------------------------------------------------------------- #
+# Borůvka spanning forests vs the Kruskal reference
+# --------------------------------------------------------------------------- #
+class TestBoruvkaEquivalence:
+    def test_min_and_max_match_kruskal(self):
+        rng = np.random.default_rng(7)
+        for trial in range(40):
+            n = int(rng.integers(2, 60))
+            m = int(rng.integers(1, 4 * n))
+            u = rng.integers(0, n, size=m)
+            v = rng.integers(0, n, size=m)
+            keep = u != v
+            if not np.any(keep):
+                continue
+            # duplicate weights on purpose, to exercise the index tie-break
+            w = rng.integers(1, 5, size=int(keep.sum())).astype(float)
+            g = Graph(n, u[keep], v[keep], w)
+            order_min = np.argsort(g.w, kind="stable")
+            assert np.array_equal(
+                minimum_spanning_tree_edges(g), reference_kruskal(g, order_min)
+            ), trial
+            order_max = np.argsort(-g.w, kind="stable")
+            assert np.array_equal(
+                maximum_spanning_tree_edges(g), reference_kruskal(g, order_max)
+            ), trial
+
+    def test_is_spanning_forest_matches_reference(self):
+        g = generators.grid_2d(6, 6)
+        tree = minimum_spanning_tree_edges(g)
+        assert is_spanning_forest(g, tree)
+        assert not is_spanning_forest(g, tree[:-1])  # misses a vertex
+        assert not is_spanning_forest(g, np.arange(g.num_edges))  # cycles
+
+
+# --------------------------------------------------------------------------- #
+# vectorized stretch / decomposition stages vs references, fixed seeds
+# --------------------------------------------------------------------------- #
+class TestVectorizedStagesEquivalence:
+    def test_is_forest_matches_reference(self):
+        rng = np.random.default_rng(11)
+        g = generators.erdos_renyi_gnm(40, 90, seed=5)
+        for _ in range(40):
+            k = int(rng.integers(0, g.n + 5))
+            subset = rng.choice(g.num_edges, size=min(k, g.num_edges), replace=False)
+            assert _is_forest(g, subset) == reference_is_forest(g, subset)
+
+    def test_is_forest_edges_counts_parallel_copies(self):
+        assert not is_forest_edges(2, [0, 0], [1, 1])
+        assert is_forest_edges(2, [0], [1])
+        count, _ = forest_components(2, [0], [1])
+        assert count == 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_decomposition_radii_matches_reference(self, seed):
+        g = generators.grid_2d(12, 12)
+        decomp = split_graph(g, rho=4, seed=seed)
+        assert np.array_equal(decomposition_radii(g, decomp), reference_radii(g, decomp))
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_decomposition_radii_weighted_random(self, seed):
+        g = generators.erdos_renyi_gnm(150, 450, seed=seed)
+        decomp = split_graph(g, rho=3, seed=seed)
+        assert np.array_equal(decomposition_radii(g, decomp), reference_radii(g, decomp))
+
+    def test_split_graph_leftover_singletons(self):
+        # Force the leftover path: a single iteration with a tiny radius
+        # cannot cover everything, so uncovered vertices become singletons.
+        g = generators.path_graph(30)
+        decomp = split_graph(g, rho=1, seed=0, num_iterations=1)
+        assert np.all(decomp.labels >= 0)
+        # every vertex appears in exactly one component; singleton centers
+        # are their own component's center
+        for idx in range(decomp.num_components):
+            verts = decomp.component_vertices(idx)
+            assert decomp.centers[idx] in verts
+        assert decomposition_radii(g, decomp).max() <= 1
+
+    def test_tree_stretches_single_vertex_components(self):
+        # max_depth == 0: every vertex is its own tree; all stretches inf.
+        g = generators.path_graph(4)
+        stretches = tree_stretches(g, np.empty(0, dtype=np.int64))
+        assert np.all(np.isinf(stretches))
+
+    def test_tree_stretches_depth_at_power_of_two_boundary(self):
+        # Depth exactly a power of two exercises the binary-lifting table
+        # sizing that the integer bit_length computation guards.
+        for n in (3, 5, 9, 17, 33):
+            g = generators.path_graph(n)
+            stretches = tree_stretches(g, np.arange(n - 1))
+            assert np.allclose(stretches, 1.0)
+            cyc = generators.cycle_graph(n)
+            stretches = tree_stretches(cyc, np.arange(n - 1))
+            assert stretches[-1] == pytest.approx(float(n - 1))
