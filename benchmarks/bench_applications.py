@@ -1,14 +1,44 @@
-"""Experiments E9-E10: applications of the solver.
+"""Experiments E9-E11: the application workload suite on the solver.
 
 * E9 — spectral sparsification quality (Spielman–Srivastava via the solver).
 * E10 — (1 - eps)-approximate max flow via electrical flows vs exact flow.
+* E11 — the solve-many workloads: batched effective-resistance oracle,
+  harmonic interpolation, and spectral embedding (setup vs per-query cost).
+
+Machine-readable output
+-----------------------
+Run this module as a script to emit ``BENCH_applications.json``::
+
+    PYTHONPATH=src python benchmarks/bench_applications.py --json
+    PYTHONPATH=src python benchmarks/bench_applications.py --json --scale tiny
+
+The JSON payload records, per workload and per application, the one-time
+setup wall-time (factorize + sketch/embedding build) against the per-query
+wall-time, so future PRs can diff the amortization story of the whole suite.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import print_table
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+try:
+    from benchmarks.conftest import print_table
+except ImportError:  # executed as a script: benchmarks/ itself is on sys.path
+    from conftest import print_table
+
+from repro.apps.harmonic import harmonic_interpolation
 from repro.apps.maxflow import approx_max_flow, exact_max_flow
+from repro.apps.resistance import ResistanceOracle
 from repro.apps.sparsification import quadratic_form_distortion, spectral_sparsify
+from repro.apps.spectral import spectral_embedding
+from repro.core.chain_cache import clear_chain_cache
+from repro.core.operator import factorize
 from repro.graph import generators
 from repro.util.records import ExperimentRow
 
@@ -80,3 +110,172 @@ class TestE10ApproximateMaxFlow:
             assert r.measured["value_ratio"] >= 0.5
             assert r.measured["value_ratio"] <= 1.05 * (1 + 0.3)
             assert r.measured["congestion"] <= 1.0 + 0.3 + 1e-6
+
+
+# --------------------------------------------------------------------------- #
+# E11: the solve-many workload suite (standalone --json harness)
+# --------------------------------------------------------------------------- #
+_SCALES = {
+    "tiny": dict(grid=10, er_n=60, er_m=150, pairs=32, labels=3, embed_k=2),
+    "small": dict(grid=24, er_n=300, er_m=900, pairs=128, labels=4, embed_k=3),
+    "medium": dict(grid=48, er_n=1500, er_m=5000, pairs=512, labels=6, embed_k=4),
+}
+
+
+def _resistance_entry(g, *, pairs: int, seed: int = 0) -> Dict:
+    """Setup (factorize + JL sketch) vs per-query cost of the resistance oracle."""
+    rng = np.random.default_rng(seed)
+    queries = rng.integers(0, g.n, size=(pairs, 2))
+    t0 = time.time()
+    oracle = ResistanceOracle(g, seed=seed, use_cache=False)
+    oracle.sketch  # build the batched JL sketch eagerly
+    setup_seconds = time.time() - t0
+    t0 = time.time()
+    sketched = oracle.query(queries)
+    sketched_seconds = time.time() - t0
+    exact_pairs = queries[: min(8, pairs)]
+    t0 = time.time()
+    oracle.query(exact_pairs, exact=True)
+    exact_seconds = time.time() - t0
+    return {
+        "application": "resistance_oracle",
+        "setup_seconds": setup_seconds,
+        "queries": int(pairs),
+        "sketched_query_seconds": sketched_seconds,
+        "sketched_seconds_per_query": sketched_seconds / pairs,
+        "exact_queries": int(exact_pairs.shape[0]),
+        "exact_query_seconds": exact_seconds,
+        "jl_dimension": oracle.jl_dimension,
+        # Edge resistances are always finite; a stable statistic to diff
+        # across PRs (unlike random vertex pairs, which mix in 0/inf).
+        "mean_edge_resistance": float(np.mean(oracle.edge_resistances())),
+    }
+
+
+def _harmonic_entry(g, *, labels: int, seed: int = 0) -> Dict:
+    """Setup (interior factorize) vs per-label-batch cost of harmonic solves."""
+    rng = np.random.default_rng(seed)
+    nb = max(2, g.n // 20)
+    boundary = rng.choice(g.n, size=nb, replace=False)
+    onehot = np.zeros((nb, labels))
+    onehot[np.arange(nb), rng.integers(0, labels, size=nb)] = 1.0
+    clear_chain_cache()
+    t0 = time.time()
+    first = harmonic_interpolation(g, boundary, onehot, seed=seed)
+    setup_and_solve_seconds = time.time() - t0
+    t0 = time.time()
+    second = harmonic_interpolation(g, boundary, onehot, seed=seed)
+    cached_solve_seconds = time.time() - t0
+    return {
+        "application": "harmonic_interpolation",
+        "boundary_size": int(nb),
+        "labels": int(labels),
+        "first_call_seconds": setup_and_solve_seconds,
+        "cached_call_seconds": cached_solve_seconds,
+        "iterations": first.iterations,
+        "converged": bool(first.converged and second.converged),
+    }
+
+
+def _spectral_entry(g, *, k: int, seed: int = 0) -> Dict:
+    """Setup (factorize) vs iteration cost of the spectral embedding."""
+    t0 = time.time()
+    op = factorize(g, seed=seed)
+    setup_seconds = time.time() - t0
+    t0 = time.time()
+    result = spectral_embedding(g, k, operator=op, seed=seed, tol=1e-8)
+    embed_seconds = time.time() - t0
+    return {
+        "application": "spectral_embedding",
+        "k": int(k),
+        "setup_seconds": setup_seconds,
+        "embed_seconds": embed_seconds,
+        "seconds_per_iteration": embed_seconds / max(result.iterations, 1),
+        "iterations": result.iterations,
+        "converged": bool(result.converged),
+        "fiedler_value": float(result.eigenvalues[0]),
+    }
+
+
+def collect_payload(scale: str = "small", seed: int = 0) -> Dict:
+    """Per-workload setup vs per-query timings for the application suite."""
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALES)}")
+    p = _SCALES[scale]
+    clear_chain_cache()
+    workloads = [
+        (f"grid_{p['grid']}x{p['grid']}", generators.grid_2d(p["grid"], p["grid"])),
+        (
+            f"wgrid_{p['grid']}x{p['grid']}",
+            generators.weighted_grid_2d(p["grid"], p["grid"], seed=seed, spread=100.0),
+        ),
+        (f"er_n{p['er_n']}_m{p['er_m']}", generators.erdos_renyi_gnm(p["er_n"], p["er_m"], seed=seed)),
+    ]
+    out: List[Dict] = []
+    for name, g in workloads:
+        out.append(
+            {
+                "workload": name,
+                "n": g.n,
+                "m": g.num_edges,
+                "applications": [
+                    _resistance_entry(g, pairs=p["pairs"], seed=seed),
+                    _harmonic_entry(g, labels=p["labels"], seed=seed),
+                    _spectral_entry(g, k=p["embed_k"], seed=seed),
+                ],
+            }
+        )
+    return {
+        "experiment": "E11",
+        "schema_version": 1,
+        "scale": scale,
+        "workloads": out,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="write the machine-readable benchmark payload",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_applications.json",
+        help="output path for --json (default: BENCH_applications.json)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(_SCALES),
+        help="workload sizes (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload/base seed")
+    args = parser.parse_args(argv)
+
+    payload = collect_payload(scale=args.scale, seed=args.seed)
+    for w in payload["workloads"]:
+        apps = {a["application"]: a for a in w["applications"]}
+        res, harm, spec = (
+            apps["resistance_oracle"],
+            apps["harmonic_interpolation"],
+            apps["spectral_embedding"],
+        )
+        print(
+            f"{w['workload']}: resistance setup {res['setup_seconds']:.3f}s / "
+            f"{res['sketched_seconds_per_query'] * 1e6:.1f}us per sketched query; "
+            f"harmonic first {harm['first_call_seconds']:.3f}s vs cached "
+            f"{harm['cached_call_seconds']:.3f}s; "
+            f"embedding k={spec['k']} in {spec['iterations']} iterations "
+            f"({spec['embed_seconds']:.3f}s)"
+        )
+    if args.json:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

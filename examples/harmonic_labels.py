@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Semi-supervised label propagation via batched harmonic interpolation.
+
+A handful of labeled vertices become Dirichlet boundary conditions; the
+harmonic extension (one batched multi-label solve on the interior
+Laplacian, Zhu–Ghahramani–Lafferty style) scores every unlabeled vertex,
+and the arg-max over score columns predicts its class.  The demo builds two
+weighted grid "regions" bridged by a few weak edges, labels three vertices
+per region, and reports the propagation accuracy against the ground-truth
+region split.
+
+Run with::
+
+    PYTHONPATH=src python examples/harmonic_labels.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.graph import generators
+from repro.testing import disjoint_union
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    side = 10
+    region_a = generators.weighted_grid_2d(side, side, seed=1, spread=10.0)
+    region_b = generators.weighted_grid_2d(side, side, seed=2, spread=10.0)
+    g = disjoint_union([region_a, region_b])
+    # A few weak bridges: the clusters stay spectrally distinct.
+    bridges = rng.choice(side * side, size=3, replace=False)
+    g = g.add_edges(bridges, bridges + side * side, np.full(3, 1e-3))
+    truth = np.repeat([0, 1], side * side)
+
+    labeled = np.concatenate(
+        [rng.choice(side * side, size=3, replace=False),
+         side * side + rng.choice(side * side, size=3, replace=False)]
+    )
+    result = repro.harmonic_labels(g, labeled, truth[labeled], seed=0)
+
+    accuracy = float(np.mean(result.predictions == truth))
+    print(f"graph: n={g.n}, m={g.num_edges}, labeled vertices: {labeled.size}")
+    print(f"harmonic solve: {result.interpolation.iterations} outer iterations, "
+          f"converged={result.interpolation.converged}")
+    print(f"label-propagation accuracy vs ground truth: {accuracy:.1%}")
+    margins = np.abs(result.scores[:, 0] - result.scores[:, 1])
+    print(f"median decision margin: {np.median(margins):.3f} "
+          f"(labeled rows are exact one-hot)")
+
+
+if __name__ == "__main__":
+    main()

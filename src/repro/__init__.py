@@ -21,9 +21,14 @@ Public API highlights
   (Theorem 5.1).
 * :func:`repro.core.low_stretch_subgraph` — low-stretch ultra-sparse
   subgraphs (Theorem 5.9).
-* :mod:`repro.apps` — spectral sparsification, approximate max-flow, and
-  decomposition spanners built on the solver (the sparsifier's JL solves
-  ride the batched multi-RHS path).
+* :mod:`repro.apps` — the workload suite built on the solver: spectral
+  sparsification, a batched effective-resistance oracle
+  (:class:`repro.ResistanceOracle`), harmonic interpolation /
+  semi-supervised labeling (:func:`repro.harmonic_interpolation`),
+  spectral embeddings (:func:`repro.spectral_embedding`), approximate
+  max-flow, and decomposition spanners (all batched multi-RHS consumers).
+* :mod:`repro.testing` — the dense reference oracles and the seeded
+  random-graph fuzz corpus every workload is validated against.
 * :class:`repro.pram.CostModel` — PRAM work/depth accounting used by the
   benchmarks.
 
@@ -56,6 +61,9 @@ from repro.core.chain_cache import (
 )
 from repro.core.solver import SDDSolver, sdd_solve
 from repro.api import solve
+from repro.apps.harmonic import harmonic_interpolation, harmonic_labels
+from repro.apps.resistance import ResistanceOracle, effective_resistance_pairs
+from repro.apps.spectral import fiedler_vector, spectral_embedding
 from repro.pram.model import CostModel
 
 __version__ = "2.0.0"
@@ -79,6 +87,12 @@ __all__ = [
     "chain_cache_stats",
     "clear_chain_cache",
     "set_chain_cache_capacity",
+    "ResistanceOracle",
+    "effective_resistance_pairs",
+    "harmonic_interpolation",
+    "harmonic_labels",
+    "spectral_embedding",
+    "fiedler_vector",
     "SDDSolver",
     "sdd_solve",
     "CostModel",

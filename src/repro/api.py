@@ -21,6 +21,9 @@ from typing import Optional
 
 import numpy as np
 
+from repro.apps.harmonic import harmonic_interpolation, harmonic_labels
+from repro.apps.resistance import ResistanceOracle, effective_resistance_pairs
+from repro.apps.spectral import fiedler_vector, spectral_embedding
 from repro.core.chain_cache import (
     chain_cache_stats,
     clear_chain_cache,
@@ -46,6 +49,12 @@ __all__ = [
     "chain_cache_stats",
     "clear_chain_cache",
     "set_chain_cache_capacity",
+    "ResistanceOracle",
+    "effective_resistance_pairs",
+    "harmonic_interpolation",
+    "harmonic_labels",
+    "spectral_embedding",
+    "fiedler_vector",
 ]
 
 

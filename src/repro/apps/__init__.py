@@ -1,16 +1,38 @@
 """Applications of the parallel SDD solver and decomposition (Section 1).
 
+A workload suite exercising the factorize-once / solve-many
+:class:`~repro.core.operator.LaplacianOperator` lifecycle from many angles:
+
 * :mod:`~repro.apps.sparsification` — spectral sparsification via effective
   resistances (Spielman–Srivastava), using the solver for the resistance
   estimates.
+* :mod:`~repro.apps.resistance` — a batched effective-resistance oracle for
+  arbitrary vertex pairs (JL-sketched batched solves, exact small-batch
+  path, chain-cache reuse).
+* :mod:`~repro.apps.harmonic` — harmonic interpolation / semi-supervised
+  label propagation via grounded boundary-condition solves on the interior
+  Laplacian (multi-label batched right-hand sides).
+* :mod:`~repro.apps.spectral` — spectral embeddings and Fiedler vectors via
+  deflated inverse power iteration with the operator as the inner solve.
 * :mod:`~repro.apps.maxflow` — (1 - eps)-approximate maximum flow /
   minimum cut on undirected graphs via electrical flows (Christiano et al.),
   with an exact augmenting-path baseline.
 * :mod:`~repro.apps.spanner` — low-stretch spanners / approximate
   shortest-path distances from the low-diameter decomposition itself.
+
+Every workload is validated against the dense reference oracles in
+:mod:`repro.testing.oracles` over the seeded fuzz corpus.
 """
 
 from repro.apps.sparsification import spectral_sparsify, effective_resistances, SparsifierResult
+from repro.apps.resistance import ResistanceOracle, effective_resistance_pairs
+from repro.apps.harmonic import (
+    HarmonicLabelResult,
+    HarmonicResult,
+    harmonic_interpolation,
+    harmonic_labels,
+)
+from repro.apps.spectral import SpectralResult, fiedler_vector, spectral_embedding
 from repro.apps.maxflow import approx_max_flow, exact_max_flow, MaxFlowResult
 from repro.apps.spanner import decomposition_spanner, approximate_distances, SpannerResult
 
@@ -18,6 +40,15 @@ __all__ = [
     "spectral_sparsify",
     "effective_resistances",
     "SparsifierResult",
+    "ResistanceOracle",
+    "effective_resistance_pairs",
+    "HarmonicResult",
+    "HarmonicLabelResult",
+    "harmonic_interpolation",
+    "harmonic_labels",
+    "SpectralResult",
+    "spectral_embedding",
+    "fiedler_vector",
     "approx_max_flow",
     "exact_max_flow",
     "MaxFlowResult",

@@ -1,0 +1,218 @@
+"""Harmonic interpolation (boundary-value solves) for semi-supervised labeling.
+
+Given values on a *boundary* set of vertices, the harmonic extension fills
+every interior vertex with the weighted average of its neighbors — i.e. it
+solves the grounded system
+
+    ``L_II x_I = -L_IB x_B``
+
+where ``L_II`` is the interior block of the Laplacian.  This is the classic
+Zhu–Ghahramani–Lafferty semi-supervised labeling primitive (and the
+electrical interpretation: boundary vertices are held at fixed potentials,
+interior potentials follow).  The interior block is SDD — strictly dominant
+exactly at the vertices with boundary neighbors — so it routes straight
+through :func:`repro.core.operator.factorize`:
+
+* the interior system is **factorized once per (graph, boundary) pair**
+  (cacheable through the process-level chain cache for integer seeds);
+* multi-label problems pass their ``(b, k)`` one-hot value matrix as one
+  batched ``(n_I, k)`` right-hand-side block — ``k`` labels cost one chain
+  traversal per iteration, not ``k``.
+
+Pinned edge-case behavior (matching
+:func:`repro.testing.oracles.dense_harmonic_interpolation`): interior
+vertices in components containing **no boundary vertex** receive no
+information from the boundary; their block is singular with a zero
+right-hand side, and the harmonic extension assigns them exactly ``0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.config import ChainConfig, SolverConfig
+from repro.core.operator import factorize
+from repro.graph.components import connected_components
+from repro.graph.graph import Graph
+from repro.graph.laplacian import graph_to_laplacian
+from repro.util.rng import RngLike
+
+
+@dataclass
+class HarmonicResult:
+    """Result of :func:`harmonic_interpolation`.
+
+    Attributes
+    ----------
+    x:
+        The harmonic extension — ``(n,)`` for vector values, ``(n, k)`` for
+        multi-label blocks.  Boundary rows equal the prescribed values.
+    boundary, interior:
+        The vertex index sets.
+    floating:
+        Interior vertices whose component contains no boundary vertex
+        (assigned ``0``; see module docstring).
+    iterations, converged:
+        Outer iterations and convergence of the interior solve (``0`` /
+        ``True`` when there is nothing to solve).
+    stats:
+        Diagnostics (interior size, batch width, solve work/depth).
+    """
+
+    x: np.ndarray
+    boundary: np.ndarray
+    interior: np.ndarray
+    floating: np.ndarray
+    iterations: int
+    converged: bool
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+def harmonic_interpolation(
+    graph: Graph,
+    boundary: np.ndarray,
+    values: np.ndarray,
+    *,
+    tol: float = 1e-10,
+    chain: Optional[ChainConfig] = None,
+    solver: Optional[SolverConfig] = None,
+    seed: RngLike = 0,
+    use_cache: bool = True,
+) -> HarmonicResult:
+    """Harmonically extend ``values`` on ``boundary`` to all of ``graph``.
+
+    Parameters
+    ----------
+    boundary:
+        Unique vertex indices carrying prescribed values.
+    values:
+        ``(b,)`` vector or ``(b, k)`` multi-label block, row ``i`` belonging
+        to ``boundary[i]``.  All ``k`` columns are solved in one batched
+        call.
+    tol:
+        Relative residual tolerance of the interior solve.
+    seed:
+        Factorization seed; integer seeds make repeated calls with the same
+        ``(graph, boundary)`` hit the process-level chain cache.
+    """
+    boundary = np.asarray(boundary, dtype=np.int64).ravel()
+    if boundary.size == 0:
+        raise ValueError("boundary must contain at least one vertex")
+    if boundary.min() < 0 or boundary.max() >= graph.n:
+        raise ValueError("boundary vertex out of range")
+    if np.unique(boundary).size != boundary.size:
+        raise ValueError("boundary vertices must be unique")
+    values = np.asarray(values, dtype=float)
+    single = values.ndim == 1
+    block = values[:, None] if single else values
+    if block.ndim != 2 or block.shape[0] != boundary.size:
+        raise ValueError("values must have one row per boundary vertex")
+
+    n, k = graph.n, block.shape[1]
+    x = np.zeros((n, k))
+    x[boundary] = block
+    interior = np.setdiff1d(np.arange(n, dtype=np.int64), boundary)
+    floating = np.zeros(0, dtype=np.int64)
+    iterations = 0
+    converged = True
+    stats: Dict[str, float] = {"interior_size": float(interior.size), "batch_width": float(k)}
+
+    if interior.size:
+        lap = graph_to_laplacian(graph)
+        lii = lap[interior][:, interior].tocsr()
+        lib = lap[interior][:, boundary].tocsr()
+        # Interior components with no edge to the boundary are singular
+        # blocks with a zero right-hand side: pin them to 0 and solve only
+        # the grounded (nonsingular SDD) remainder.
+        interior_graph, _ = graph.induced_subgraph(interior)
+        _, comp = connected_components(interior_graph)
+        coupled_comps = np.unique(comp[lib.getnnz(axis=1) > 0])
+        grounded = np.flatnonzero(np.isin(comp, coupled_comps))
+        floating = interior[np.isin(comp, coupled_comps, invert=True)]
+        if grounded.size:
+            rhs = -(lib @ block)[grounded]
+            matrix = lii[grounded][:, grounded]
+            operator = factorize(matrix, chain, solver, seed=seed, cache=use_cache)
+            report = operator.solve(rhs, tol=tol)
+            solution = report.x[:, None] if report.x.ndim == 1 else report.x
+            x[interior[grounded]] = solution
+            iterations = report.iterations
+            converged = report.converged
+            stats.update(
+                solve_work=report.work,
+                solve_depth=report.depth,
+                relative_residual=report.relative_residual,
+                grounded_size=float(grounded.size),
+            )
+    stats["floating_size"] = float(floating.size)
+    return HarmonicResult(
+        x=x[:, 0] if single else x,
+        boundary=boundary,
+        interior=interior,
+        floating=floating,
+        iterations=iterations,
+        converged=converged,
+        stats=stats,
+    )
+
+
+def harmonic_labels(
+    graph: Graph,
+    labeled: np.ndarray,
+    labels: np.ndarray,
+    *,
+    num_classes: Optional[int] = None,
+    **kwargs,
+) -> "HarmonicLabelResult":
+    """Semi-supervised label propagation via one batched harmonic solve.
+
+    Labeled vertices become the boundary with one-hot values; every class
+    column is solved simultaneously.  Unlabeled vertices take the class of
+    the largest harmonic score; vertices with no path to any labeled vertex
+    (all scores ``0``) are reported as ``-1``.
+    """
+    labeled = np.asarray(labeled, dtype=np.int64).ravel()
+    labels = np.asarray(labels, dtype=np.int64).ravel()
+    if labels.shape != labeled.shape:
+        raise ValueError("labels must align with labeled vertices")
+    if labels.size == 0:
+        raise ValueError("need at least one labeled vertex")
+    if labels.min() < 0:
+        raise ValueError("labels must be non-negative class indices")
+    k = int(labels.max()) + 1 if num_classes is None else int(num_classes)
+    if labels.max() >= k:
+        raise ValueError(f"labels must be < num_classes ({k})")
+    onehot = np.zeros((labeled.size, k))
+    onehot[np.arange(labeled.size), labels] = 1.0
+    result = harmonic_interpolation(graph, labeled, onehot, **kwargs)
+    scores = result.x
+    predictions = np.argmax(scores, axis=1).astype(np.int64)
+    predictions[np.max(scores, axis=1) <= 0.0] = -1
+    predictions[labeled] = labels
+    return HarmonicLabelResult(
+        predictions=predictions, scores=scores, interpolation=result
+    )
+
+
+@dataclass
+class HarmonicLabelResult:
+    """Result of :func:`harmonic_labels`.
+
+    Attributes
+    ----------
+    predictions:
+        Per-vertex class index (``-1`` for vertices unreachable from every
+        labeled vertex).
+    scores:
+        The ``(n, num_classes)`` harmonic score matrix (rows of labeled
+        vertices are their one-hot encoding).
+    interpolation:
+        The underlying :class:`HarmonicResult`.
+    """
+
+    predictions: np.ndarray
+    scores: np.ndarray
+    interpolation: HarmonicResult

@@ -1,0 +1,216 @@
+"""Batched effective-resistance oracle on the factorize-once operator.
+
+:mod:`repro.apps.sparsification` estimates the resistance of every *edge*
+(for Spielman–Srivastava sampling); this module generalizes that into a
+reusable **oracle for arbitrary vertex pairs** — the resistance/commute-time
+query primitive used by graph learning and network-analysis workloads:
+
+* the chain is factorized **once per graph** (and served from the
+  process-level chain cache for integer seeds, so repeated oracles over the
+  same graph skip setup entirely);
+* a Johnson–Lindenstrauss sketch ``Z = L^+ B^T Q^T`` is computed in **one
+  batched multi-RHS solve** (``O(log n / eps^2)`` columns), after which any
+  number of pair queries are O(sketch dimension) array lookups;
+* small batches of pairs can instead take the **exact path** — one batched
+  solve with an ``e_u - e_v`` column per pair — which matches the dense
+  ``pinv`` oracle to solver tolerance.
+
+Pinned edge-case behavior (shared with
+:func:`repro.testing.oracles.dense_effective_resistances`): a query with
+``u == v`` returns ``0.0``; a query whose endpoints lie in **different
+connected components returns ``inf``** (no current can flow) rather than
+raising, so batched queries over mixed pair sets need no pre-filtering.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ChainConfig, SolverConfig
+from repro.core.operator import LaplacianOperator, factorize
+from repro.graph.components import connected_components
+from repro.graph.graph import Graph
+from repro.util.rng import RngLike, as_rng
+
+
+def default_jl_dimension(n: int, epsilon: float) -> int:
+    """The sketch width used when none is given: ``ceil(24 ln n / eps^2)``, in [4, 200]."""
+    return max(4, min(200, int(math.ceil(24.0 * math.log(max(n, 2)) / epsilon**2))))
+
+
+class ResistanceOracle:
+    """Effective-resistance queries against one factorized graph.
+
+    Parameters
+    ----------
+    graph:
+        The (possibly disconnected, possibly multi-edge) graph.
+    epsilon:
+        Target relative accuracy of the sketched path; sets the default
+        sketch width via :func:`default_jl_dimension`.
+    jl_dimension:
+        Explicit sketch width override.
+    solver_tol:
+        Relative residual tolerance of the **exact-path** solves.  The
+        default (``1e-12``) makes the exact path agree with the dense
+        ``pinv`` oracle to ~1e-8 relative error.
+    sketch_tol:
+        Tolerance of the one-time JL sketch solve (default ``1e-6``) — the
+        sketch is a ±``epsilon`` estimator, so solving it tighter than the
+        JL error only burns iterations.
+    seed:
+        Seed for both the factorization and the sketch.  Integer seeds make
+        the factorization servable from the process-level chain cache.
+    operator:
+        Reuse an existing factorized operator instead of building one.
+    use_cache:
+        Consult the chain cache when factorizing (integer seeds only).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        epsilon: float = 0.3,
+        jl_dimension: Optional[int] = None,
+        solver_tol: float = 1e-12,
+        sketch_tol: float = 1e-6,
+        seed: RngLike = 0,
+        chain: Optional[ChainConfig] = None,
+        solver: Optional[SolverConfig] = None,
+        operator: Optional[LaplacianOperator] = None,
+        use_cache: bool = True,
+    ) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.graph = graph
+        self.epsilon = float(epsilon)
+        self.jl_dimension = (
+            default_jl_dimension(graph.n, epsilon) if jl_dimension is None else int(jl_dimension)
+        )
+        if self.jl_dimension < 1:
+            raise ValueError("jl_dimension must be >= 1")
+        self.solver_tol = float(solver_tol)
+        self.sketch_tol = float(sketch_tol)
+        self._sketch_seed = seed
+        self.operator = (
+            operator
+            if operator is not None
+            else factorize(graph, chain, solver, seed=seed, cache=use_cache)
+        )
+        _, self.labels = connected_components(graph)
+        self._sketch: Optional[np.ndarray] = None
+        #: Whether the sketch's batched solve converged (``None`` until the
+        #: sketch is built).
+        self.sketch_converged: Optional[bool] = None
+
+    # ------------------------------------------------------------------ #
+    # sketch construction
+    # ------------------------------------------------------------------ #
+    @property
+    def sketch(self) -> np.ndarray:
+        """The ``(n, d)`` JL sketch ``Z`` with ``R(u, v) ≈ ||Z[u] - Z[v]||^2``.
+
+        Built lazily by one batched multi-RHS solve and cached on the
+        oracle; every subsequent query is sketch lookups only.
+        """
+        if self._sketch is None:
+            n, m, d = self.graph.n, self.graph.num_edges, self.jl_dimension
+            if m == 0:
+                self._sketch = np.zeros((n, d))
+                self.sketch_converged = True
+            else:
+                rng = as_rng(self._sketch_seed)
+                incidence = self.graph.incidence_matrix()  # rows scaled by sqrt(w)
+                q = rng.choice([-1.0, 1.0], size=(m, d)) / math.sqrt(d)
+                rhs = incidence.T @ q
+                report = self.operator.solve(rhs, tol=self.sketch_tol)
+                self._sketch = report.x
+                self.sketch_converged = bool(report.converged)
+                self._warn_if_unconverged(report, "sketch")
+        return self._sketch
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def _warn_if_unconverged(self, report, kind: str) -> None:
+        if not report.converged:
+            warnings.warn(
+                f"resistance {kind} solve did not reach its tolerance "
+                f"(relative residual {report.relative_residual:.2e}); "
+                "returned resistances may be less accurate than documented",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _validated_pairs(self, pairs: np.ndarray) -> np.ndarray:
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if pairs.size and (pairs.min() < 0 or pairs.max() >= self.graph.n):
+            raise ValueError("pair endpoints out of range")
+        return pairs
+
+    def query(self, pairs: np.ndarray, *, exact: bool = False) -> np.ndarray:
+        """Effective resistance of each ``(u, v)`` pair.
+
+        Parameters
+        ----------
+        pairs:
+            ``(q, 2)`` array (a single ``(u, v)`` tuple is accepted).
+        exact:
+            Solve one ``e_u - e_v`` right-hand side per pair (one batched
+            call) instead of reading the JL sketch.  Exact to solver
+            tolerance; intended for small batches.
+
+        Returns
+        -------
+        ``(q,)`` resistances, with ``0`` for ``u == v`` and ``inf`` for
+        pairs spanning two components (documented pinned behavior).
+        """
+        pairs = self._validated_pairs(pairs)
+        if pairs.shape[0] == 0:
+            return np.zeros(0)
+        a, b = pairs[:, 0], pairs[:, 1]
+        out = np.full(pairs.shape[0], np.inf)
+        out[a == b] = 0.0
+        live = np.flatnonzero((self.labels[a] == self.labels[b]) & (a != b))
+        if live.size == 0:
+            return out
+        if exact:
+            rhs = np.zeros((self.graph.n, live.size))
+            cols = np.arange(live.size)
+            rhs[a[live], cols] += 1.0
+            rhs[b[live], cols] -= 1.0
+            report = self.operator.solve(rhs, tol=self.solver_tol)
+            self._warn_if_unconverged(report, "exact-path")
+            out[live] = report.x[a[live], cols] - report.x[b[live], cols]
+        else:
+            z = self.sketch
+            diff = z[a[live]] - z[b[live]]
+            out[live] = np.sum(diff**2, axis=1)
+        return out
+
+    def edge_resistances(self, *, exact: bool = False) -> np.ndarray:
+        """Resistance of every edge (parallel edges repeat their pair's value)."""
+        return self.query(np.column_stack([self.graph.u, self.graph.v]), exact=exact)
+
+
+def effective_resistance_pairs(
+    graph: Graph,
+    pairs: np.ndarray,
+    *,
+    exact: bool = True,
+    seed: RngLike = 0,
+    **oracle_kwargs,
+) -> np.ndarray:
+    """One-shot pair queries (builds a :class:`ResistanceOracle` internally).
+
+    ``exact=True`` (the default for this convenience entry point) takes the
+    per-pair solve path; pass ``exact=False`` for the sketched estimate when
+    querying many pairs.
+    """
+    oracle = ResistanceOracle(graph, seed=seed, **oracle_kwargs)
+    return oracle.query(pairs, exact=exact)

@@ -80,6 +80,18 @@ def effective_resistances(
     operator:
         Reuse an existing factorized operator for the graph (otherwise one
         is built).
+
+    Notes
+    -----
+    Pinned edge-case behavior (see ``tests/test_resistance.py``):
+
+    * a single-edge graph reports exactly ``1 / w``;
+    * parallel edges each get their own entry with the *same* value (the
+      resistance of the coalesced pair — sampling weights remain per-edge);
+    * edges never span components, so every entry is finite even on
+      disconnected graphs.  For arbitrary vertex-*pair* queries (which may
+      span components and then return ``inf``) use
+      :class:`repro.apps.resistance.ResistanceOracle`.
     """
     rng = as_rng(seed)
     n, m = graph.n, graph.num_edges

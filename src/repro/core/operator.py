@@ -48,6 +48,7 @@ from repro.graph.laplacian import (
 )
 from repro.linalg.cg import batched_conjugate_gradient
 from repro.linalg.direct import laplacian_pseudoinverse
+from repro.linalg.norms import column_means
 from repro.linalg.jacobi import jacobi_preconditioner
 from repro.pram.model import CostModel, log2ceil
 from repro.pram.primitives import charge_elimination_transfer
@@ -129,7 +130,12 @@ class _ComponentProjector:
     def __call__(self, v: np.ndarray) -> np.ndarray:
         v = np.asarray(v, dtype=float)
         if self._single:
-            return v - v.mean(axis=0)
+            # column_means (not v.mean) so the projection rounds identically
+            # for every batch width — part of the batched == looped
+            # bit-for-bit contract (see repro.linalg.norms).
+            if v.ndim == 1:
+                return v - v.mean()
+            return v - column_means(v)
         sums = self._accumulator @ v
         if v.ndim == 1:
             return v - (sums / self.counts)[self.labels]

@@ -45,11 +45,17 @@ from repro.core.elimination import EliminationResult, EliminationSchedule
 
 @dataclass(frozen=True)
 class _Rake:
-    """One degree-1 sub-round: ``b[u] += b[v]`` forward, ``x[v] = x[u] + carry[v]/w``."""
+    """One degree-1 sub-round: ``b[u] += b[v]`` forward, ``x[v] = x[u] + carry[v]/w``.
+
+    ``layers`` splits ``(u, v)`` into duplicate-free-target slices (see
+    :func:`_occurrence_layers`) so batched forwards can scatter with plain
+    fancy-index adds while reproducing ``np.add.at``'s per-slot order.
+    """
 
     v: np.ndarray
     u: np.ndarray
     w: np.ndarray
+    layers: Tuple[Tuple[np.ndarray, np.ndarray], ...]
 
 
 @dataclass(frozen=True)
@@ -59,6 +65,8 @@ class _Compress:
     Forward uses the interleaved ``(targets, sources, coeffs)`` arrays —
     ``[u1_0, u2_0, u1_1, u2_1, ...]`` — so the scatter-add order matches the
     per-step replay exactly; backward uses the per-step neighbor arrays.
+    ``layers`` carries the duplicate-free-target decomposition of the
+    interleaved arrays for the batched forward path.
     """
 
     v: np.ndarray
@@ -70,6 +78,30 @@ class _Compress:
     fwd_targets: np.ndarray
     fwd_sources: np.ndarray
     fwd_coeffs: np.ndarray
+    layers: Tuple[Tuple[np.ndarray, np.ndarray, np.ndarray], ...]
+
+
+def _occurrence_layers(targets: np.ndarray) -> List[np.ndarray]:
+    """Partition scatter steps into layers with unique targets, in order.
+
+    Step ``i`` goes to layer ``L`` when ``targets[i]`` has appeared ``L``
+    times before.  Within a layer every target is distinct, so a vectorized
+    ``arr[targets_L] += ...`` performs exactly one add per slot; replaying
+    layers in order applies the adds aimed at any single slot in the
+    original step order — which, with sources never written inside a
+    sub-round (a validated schedule invariant), makes the layered scatter
+    bit-for-bit identical to a sequential ``np.add.at``.
+    """
+    order = np.argsort(targets, kind="stable")
+    sorted_t = targets[order]
+    new_group = np.r_[True, sorted_t[1:] != sorted_t[:-1]]
+    group_start = np.flatnonzero(new_group)
+    group_sizes = np.diff(np.r_[group_start, sorted_t.shape[0]])
+    occ_sorted = np.arange(sorted_t.shape[0]) - np.repeat(group_start, group_sizes)
+    occurrence = np.empty(targets.shape[0], dtype=np.int64)
+    occurrence[order] = occ_sorted
+    depth = int(occurrence.max(initial=-1)) + 1
+    return [np.flatnonzero(occurrence == level) for level in range(depth)]
 
 
 _SubRound = Union[_Rake, _Compress]
@@ -113,49 +145,59 @@ class TransferOperators:
         ``(n,)`` or ``(n, k)``.
         """
         batched = np.ndim(b) == 2
-        # Batched blocks are propagated column-contiguously (Fortran order)
-        # with one 1-D scatter-add per column: ``np.add.at`` on 2-D row
-        # indices is ~50x slower per element than its 1-D form, and the
-        # per-column scatter keeps every column bit-identical to a separate
-        # vector transfer.
+        # Batched blocks stay column-contiguous (Fortran order) and scatter
+        # through the duplicate-free layer decomposition: one fancy-index
+        # add per layer covers every column at once, and replays the adds
+        # into any single slot in ``np.add.at`` step order — bit-identical
+        # to a per-column (or per-vector) sequential transfer, at a fraction
+        # of the cost for wide blocks.
         carry = np.array(b, dtype=float, copy=True, order="F" if batched else "C")
-        columns = (
-            [carry[:, j] for j in range(carry.shape[1])] if batched else [carry]
-        )
-        for sub in self._subrounds:
-            if isinstance(sub, _Rake):
-                for col in columns:
-                    np.add.at(col, sub.u, col[sub.v])
-            else:
-                for col in columns:
+        if batched:
+            for sub in self._subrounds:
+                if isinstance(sub, _Rake):
+                    for u_layer, v_layer in sub.layers:
+                        carry[u_layer] += carry[v_layer]
+                else:
+                    for t_layer, s_layer, c_layer in sub.layers:
+                        carry[t_layer] += c_layer[:, None] * carry[s_layer]
+        else:
+            for sub in self._subrounds:
+                if isinstance(sub, _Rake):
+                    np.add.at(carry, sub.u, carry[sub.v])
+                else:
                     np.add.at(
-                        col, sub.fwd_targets, sub.fwd_coeffs * col[sub.fwd_sources]
+                        carry, sub.fwd_targets, sub.fwd_coeffs * carry[sub.fwd_sources]
                     )
         return carry[self.kept_vertices], carry
 
     def backward(self, carry: np.ndarray, x_reduced: np.ndarray) -> np.ndarray:
         """Back-substitute eliminated vertices from a :meth:`forward` carry.
 
-        Like :meth:`forward`, batched blocks are swept column by column
-        (transfers are gather/scatter bound, so columns share no work and
-        contiguous 1-D sweeps are both fastest and bit-identical to a
-        per-vector transfer).
+        Back-substitution targets (the eliminated vertices of a sub-round)
+        are unique, so batched blocks vectorize straight across columns:
+        every element sees the identical scalar expression a per-vector
+        sweep evaluates, keeping the result bit-identical column by column.
         """
         x = np.zeros_like(carry)
         x[self.kept_vertices] = np.asarray(x_reduced, dtype=float)
         batched = x.ndim == 2
         if batched:
-            pairs = [(x[:, j], carry[:, j]) for j in range(x.shape[1])]
+            for sub in reversed(self._subrounds):
+                if isinstance(sub, _Rake):
+                    x[sub.v] = x[sub.u] + carry[sub.v] / sub.w[:, None]
+                else:
+                    x[sub.v] = (
+                        sub.w1[:, None] * x[sub.u1]
+                        + sub.w2[:, None] * x[sub.u2]
+                        + carry[sub.v]
+                    ) / sub.total[:, None]
         else:
-            pairs = [(x, carry)]
-        for sub in reversed(self._subrounds):
-            if isinstance(sub, _Rake):
-                for xc, cc in pairs:
-                    xc[sub.v] = xc[sub.u] + cc[sub.v] / sub.w
-            else:
-                for xc, cc in pairs:
-                    xc[sub.v] = (
-                        sub.w1 * xc[sub.u1] + sub.w2 * xc[sub.u2] + cc[sub.v]
+            for sub in reversed(self._subrounds):
+                if isinstance(sub, _Rake):
+                    x[sub.v] = x[sub.u] + carry[sub.v] / sub.w
+                else:
+                    x[sub.v] = (
+                        sub.w1 * x[sub.u1] + sub.w2 * x[sub.u2] + carry[sub.v]
                     ) / sub.total
         # Hand back a C-ordered block: downstream reductions (CG dot
         # products, projections) pairwise-sum by memory layout, and bitwise
@@ -237,7 +279,10 @@ def compile_schedule(
         w2 = schedule.w2[sl]
         is_d1 = u2 < 0
         if is_d1.all():
-            subrounds.append(_Rake(v=v, u=u1, w=w1))
+            layers = tuple(
+                (u1[sel], v[sel]) for sel in _occurrence_layers(u1)
+            )
+            subrounds.append(_Rake(v=v, u=u1, w=w1, layers=layers))
         elif not is_d1.any():
             size = v.shape[0]
             total = w1 + w2
@@ -248,10 +293,15 @@ def compile_schedule(
             coeffs = np.empty(2 * size, dtype=np.float64)
             coeffs[0::2] = w1 / total
             coeffs[1::2] = w2 / total
+            layers = tuple(
+                (targets[sel], sources[sel], coeffs[sel])
+                for sel in _occurrence_layers(targets)
+            )
             subrounds.append(
                 _Compress(
                     v=v, u1=u1, u2=u2, w1=w1, w2=w2, total=total,
                     fwd_targets=targets, fwd_sources=sources, fwd_coeffs=coeffs,
+                    layers=layers,
                 )
             )
         else:  # pragma: no cover - schedule invariant

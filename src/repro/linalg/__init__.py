@@ -20,6 +20,10 @@ from repro.linalg.direct import (
     solve_sdd_direct,
     laplacian_pseudoinverse,
 )
+from repro.linalg.inverse_iteration import (
+    InverseIterationResult,
+    deflated_inverse_iteration,
+)
 
 __all__ = [
     "a_norm",
@@ -37,4 +41,6 @@ __all__ = [
     "solve_laplacian_direct",
     "solve_sdd_direct",
     "laplacian_pseudoinverse",
+    "InverseIterationResult",
+    "deflated_inverse_iteration",
 ]

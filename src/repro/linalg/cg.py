@@ -26,6 +26,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.linalg.norms import column_dot, column_norms
 from repro.linalg.operators import MatrixLike, as_operator
 
 
@@ -203,7 +204,9 @@ def batched_conjugate_gradient(
     residuals_out = np.zeros(k)
     active_counts: List[int] = []
 
-    b_norm = np.linalg.norm(b, axis=0)
+    # Width-invariant column reductions keep a batched solve bit-for-bit
+    # identical to a loop of single solves (see repro.linalg.norms).
+    b_norm = column_norms(b)
     zero_rhs = b_norm == 0.0
     converged_out[zero_rhs] = True
 
@@ -218,8 +221,8 @@ def batched_conjugate_gradient(
     x = np.zeros((n, cols.size))
     z = apply_m(r)
     p = z.copy()
-    rz = np.einsum("ij,ij->j", r, z)
-    res = np.linalg.norm(r, axis=0) / bn
+    rz = column_dot(r, z)
+    res = column_norms(r) / bn
     residuals_out[cols] = res
 
     def retire(mask: np.ndarray, iteration: int, did_converge: bool) -> None:
@@ -244,7 +247,7 @@ def batched_conjugate_gradient(
             break
         active_counts.append(int(cols.size))
         ap = apply_a(p)
-        pap = np.einsum("ij,ij->j", p, ap)
+        pap = column_dot(p, ap)
         broken = pap <= 0  # numerical breakdown (null-space component)
         if np.any(broken):
             retire(broken, it - 1, False)
@@ -254,7 +257,7 @@ def batched_conjugate_gradient(
         alpha = rz / pap
         x = x + alpha * p
         r = r - alpha * ap
-        res = np.linalg.norm(r, axis=0) / bn
+        res = column_norms(r) / bn
         if on_iteration is not None:
             on_iteration(int(cols.size))
         if check_tol:
@@ -262,7 +265,7 @@ def batched_conjugate_gradient(
             if cols.size == 0:
                 break
         z = apply_m(r)
-        rz_new = np.einsum("ij,ij->j", r, z)
+        rz_new = column_dot(r, z)
         beta = np.where(rz != 0, rz_new / np.where(rz != 0, rz, 1.0), 0.0)
         rz = rz_new
         p = z + beta * p

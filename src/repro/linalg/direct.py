@@ -22,6 +22,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.linalg.norms import column_means
+
 
 def solve_laplacian_direct(laplacian: sp.spmatrix, b: np.ndarray) -> np.ndarray:
     """Exact minimum-norm-style solution of ``L x = b`` for a connected Laplacian.
@@ -93,7 +95,11 @@ class FactorizedLaplacian:
         if self.n == 0:
             return x
         if self._counts.shape[0] <= 1:
-            return x - x.mean(axis=0)
+            if x.ndim == 1:
+                return x - x.mean()
+            # Width-invariant mean: keeps batched bottom solves bit-for-bit
+            # equal to single-column ones (see repro.linalg.norms).
+            return x - column_means(x)
         sums = np.zeros((self._counts.shape[0],) + x.shape[1:], dtype=float)
         np.add.at(sums, labels, x)
         if x.ndim == 1:

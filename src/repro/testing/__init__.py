@@ -1,0 +1,55 @@
+"""Test infrastructure shared by the test suite and future PRs.
+
+Two layers, both importable from application tests and benchmarks:
+
+* :mod:`repro.testing.corpus` — a **seeded random-graph fuzz corpus**: a
+  deterministic catalogue of small graphs covering the shapes that have
+  historically broken Laplacian-solver code (single vertices, single edges,
+  stars, trees, weighted grids, parallel-edge multigraphs, disconnected
+  unions with isolated vertices).  Every test file that wants breadth
+  parameterizes over :func:`fuzz_corpus` instead of inventing its own
+  ad-hoc graphs.
+* :mod:`repro.testing.oracles` — **dense reference oracles**: slow,
+  obviously-correct dense implementations (``pinv``-based effective
+  resistances, a dense harmonic boundary-value solve, ``eigh``-based
+  spectral embeddings, generalized eigenvalue extremes) that the fast
+  solver-based workloads in :mod:`repro.apps` are checked against.
+
+The package depends only on :mod:`repro.graph` and NumPy/SciPy — it never
+imports :mod:`repro.apps`, so the apps can be validated against it without
+an import cycle.
+"""
+
+from repro.testing.corpus import (
+    CorpusCase,
+    corpus_case,
+    corpus_names,
+    disjoint_union,
+    fuzz_corpus,
+    random_tree,
+    with_parallel_edges,
+)
+from repro.testing.oracles import (
+    dense_effective_resistances,
+    dense_fiedler_value,
+    dense_harmonic_interpolation,
+    dense_solve_laplacian,
+    dense_spectral_embedding,
+    generalized_eigen_extremes,
+)
+
+__all__ = [
+    "CorpusCase",
+    "corpus_case",
+    "corpus_names",
+    "disjoint_union",
+    "fuzz_corpus",
+    "random_tree",
+    "with_parallel_edges",
+    "dense_effective_resistances",
+    "dense_fiedler_value",
+    "dense_harmonic_interpolation",
+    "dense_solve_laplacian",
+    "dense_spectral_embedding",
+    "generalized_eigen_extremes",
+]

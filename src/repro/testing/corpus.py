@@ -1,0 +1,206 @@
+"""Seeded random-graph fuzz corpus shared by the test suite.
+
+The corpus is a deterministic function of a single integer seed: every case
+is built from an independent child stream of one :class:`numpy.random.
+SeedSequence`, so ``fuzz_corpus(seed=3)`` produces the same graphs in every
+process and the suite can be re-fuzzed by parameterizing over seeds.
+
+Cases deliberately cover the degenerate shapes that ad-hoc test graphs tend
+to miss: a single vertex (empty Laplacian), a single edge, isolated
+vertices, stars (depth-1 trees), random trees (the chain's low-stretch
+basis is a forest), weighted grids with a wide weight spread, parallel-edge
+multigraphs (which arise from AKPW contractions), and disconnected unions
+(which exercise the per-component null-space projectors end to end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.util.rng import RngLike, as_rng
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One named graph of the fuzz corpus.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (used as the pytest parameter id).
+    graph:
+        The graph itself.
+    tags:
+        Structural properties (``"tree"``, ``"disconnected"``,
+        ``"multigraph"``, ...) tests can filter on.
+    """
+
+    name: str
+    graph: Graph
+    tags: frozenset = field(default_factory=frozenset)
+
+    def has(self, tag: str) -> bool:
+        return tag in self.tags
+
+
+def random_tree(n: int, seed: RngLike = None, *, weighted: bool = False, spread: float = 50.0) -> Graph:
+    """Uniform-attachment random tree on ``n`` vertices.
+
+    Vertex ``i >= 1`` attaches to a uniformly random earlier vertex, giving
+    trees of random (logarithmic-ish) depth.  With ``weighted=True`` edges
+    get log-uniform weights in ``[1, spread]``.
+    """
+    rng = as_rng(seed)
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if n == 1:
+        return Graph(1, [], [], [])
+    v = np.arange(1, n, dtype=np.int64)
+    u = (rng.random(n - 1) * v).astype(np.int64)
+    w = None
+    if weighted:
+        w = np.exp(rng.uniform(0.0, np.log(max(spread, 1.0)), size=n - 1))
+    return Graph(n, u, v, w)
+
+
+def with_parallel_edges(graph: Graph, seed: RngLike = None, *, fraction: float = 0.4) -> Graph:
+    """Duplicate a random ``fraction`` of edges with perturbed weights.
+
+    The result is a genuine multigraph (parallel edges are kept distinct,
+    not coalesced), matching what AKPW contraction produces internally.
+    """
+    rng = as_rng(seed)
+    m = graph.num_edges
+    if m == 0:
+        return graph.copy()
+    count = max(1, int(round(fraction * m)))
+    pick = rng.choice(m, size=min(count, m), replace=False)
+    extra_w = graph.w[pick] * rng.uniform(0.5, 2.0, size=pick.size)
+    return graph.add_edges(graph.u[pick], graph.v[pick], extra_w)
+
+
+def disjoint_union(graphs: Sequence[Graph]) -> Graph:
+    """Disjoint union of ``graphs`` with vertices relabeled consecutively."""
+    if not graphs:
+        raise ValueError("need at least one graph")
+    us: List[np.ndarray] = []
+    vs: List[np.ndarray] = []
+    ws: List[np.ndarray] = []
+    offset = 0
+    for g in graphs:
+        us.append(g.u + offset)
+        vs.append(g.v + offset)
+        ws.append(g.w)
+        offset += g.n
+    return Graph(offset, np.concatenate(us), np.concatenate(vs), np.concatenate(ws))
+
+
+def fuzz_corpus(seed: int = 0, *, include_large: bool = False) -> List[CorpusCase]:
+    """The seeded fuzz corpus: a list of named :class:`CorpusCase` graphs.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; each case draws from an independent child stream, so
+        two corpora with different seeds differ in every randomized case
+        while structured cases (paths, stars, grids) stay fixed.
+    include_large:
+        Append the larger stress cases used by ``slow``-marked tests.
+    """
+    children = iter(np.random.SeedSequence(seed).spawn(32))
+
+    def rng() -> np.random.Generator:
+        return np.random.default_rng(next(children))
+
+    cases = [
+        CorpusCase("single_vertex", Graph(1, [], [], []), frozenset({"edgeless", "tree"})),
+        CorpusCase("single_edge", Graph(2, [0], [1], [2.5]), frozenset({"tree", "weighted"})),
+        CorpusCase(
+            "edge_plus_isolated",
+            Graph(4, [1], [2], [1.5]),
+            frozenset({"disconnected", "weighted"}),
+        ),
+        CorpusCase(
+            "parallel_single_edge",
+            Graph(2, [0, 0, 0], [1, 1, 1], [1.0, 2.0, 0.5]),
+            frozenset({"multigraph", "weighted"}),
+        ),
+        CorpusCase("star_9", generators.star_graph(9), frozenset({"tree"})),
+        CorpusCase("path_12", generators.path_graph(12), frozenset({"tree"})),
+        CorpusCase("cycle_8", generators.cycle_graph(8), frozenset()),
+        CorpusCase("tree_20", random_tree(20, rng()), frozenset({"tree"})),
+        CorpusCase(
+            "wtree_24",
+            random_tree(24, rng(), weighted=True),
+            frozenset({"tree", "weighted"}),
+        ),
+        CorpusCase(
+            "wgrid_5x6",
+            generators.with_random_weights(generators.grid_2d(5, 6), rng(), spread=50.0),
+            frozenset({"weighted"}),
+        ),
+        CorpusCase(
+            "multigraph_er16",
+            with_parallel_edges(generators.erdos_renyi_gnm(16, 28, rng()), rng()),
+            frozenset({"multigraph"}),
+        ),
+        CorpusCase(
+            "disconnected_trees",
+            disjoint_union([random_tree(10, rng()), random_tree(7, rng(), weighted=True), Graph(1, [], [], [])]),
+            frozenset({"disconnected", "tree", "weighted"}),
+        ),
+        CorpusCase(
+            "disconnected_grids",
+            disjoint_union(
+                [
+                    generators.grid_2d(3, 4),
+                    generators.with_random_weights(generators.grid_2d(4, 3), rng(), spread=20.0),
+                ]
+            ),
+            frozenset({"disconnected", "weighted"}),
+        ),
+        CorpusCase("er_30_60", generators.erdos_renyi_gnm(30, 60, rng()), frozenset()),
+    ]
+    if include_large:
+        cases += [
+            CorpusCase("large_tree_400", random_tree(400, rng(), weighted=True), frozenset({"tree", "weighted", "large"})),
+            CorpusCase(
+                "large_wgrid_14x14",
+                generators.weighted_grid_2d(14, 14, seed=rng(), spread=100.0),
+                frozenset({"weighted", "large"}),
+            ),
+            CorpusCase("large_er_300_900", generators.erdos_renyi_gnm(300, 900, rng()), frozenset({"large"})),
+            CorpusCase(
+                "large_disconnected",
+                disjoint_union(
+                    [
+                        generators.grid_2d(8, 8),
+                        with_parallel_edges(generators.erdos_renyi_gnm(40, 90, rng()), rng()),
+                        random_tree(30, rng(), weighted=True),
+                    ]
+                ),
+                frozenset({"disconnected", "multigraph", "weighted", "large"}),
+            ),
+        ]
+    return cases
+
+
+def corpus_names(seed: int = 0, *, include_large: bool = False) -> List[str]:
+    """Names of the corpus cases (stable pytest parameter ids)."""
+    return [case.name for case in fuzz_corpus(seed, include_large=include_large)]
+
+
+def corpus_case(name: str, seed: int = 0) -> CorpusCase:
+    """Look up a single corpus case by name."""
+    table: Dict[str, CorpusCase] = {
+        case.name: case for case in fuzz_corpus(seed, include_large=True)
+    }
+    try:
+        return table[name]
+    except KeyError:
+        raise KeyError(f"unknown corpus case {name!r}; available: {sorted(table)}") from None

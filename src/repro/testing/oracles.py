@@ -1,0 +1,151 @@
+"""Dense reference oracles the solver-based workloads are validated against.
+
+Every oracle here is the slow-but-obviously-correct dense computation of a
+quantity that :mod:`repro.apps` produces with the factorized solver:
+
+* :func:`dense_solve_laplacian` — minimum-norm ``L^+ b`` via dense ``pinv``.
+* :func:`dense_effective_resistances` — pairwise effective resistances from
+  the dense pseudo-inverse (``inf`` across components, ``0`` on the
+  diagonal).
+* :func:`dense_harmonic_interpolation` — the harmonic extension of boundary
+  values via a dense least-squares solve on the interior block.
+* :func:`dense_spectral_embedding` / :func:`dense_fiedler_value` — smallest
+  nontrivial Laplacian eigenpairs via ``numpy.linalg.eigh``.
+* :func:`generalized_eigen_extremes` — extreme generalized eigenvalues of a
+  Laplacian pair (the spectral-sandwich certificates used by the
+  sparsification tests).
+
+All oracles are dense O(n^3); they exist for the (small) fuzz corpus, not
+for production graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.graph.components import connected_components
+from repro.graph.graph import Graph
+from repro.graph.laplacian import graph_to_laplacian
+
+
+def _dense_pinv(graph: Graph) -> np.ndarray:
+    return np.linalg.pinv(graph_to_laplacian(graph).toarray(), hermitian=True)
+
+
+def dense_solve_laplacian(graph: Graph, b: np.ndarray) -> np.ndarray:
+    """Minimum-norm solution ``L^+ b`` (``b`` is projected per component).
+
+    Accepts a vector ``(n,)`` or a block ``(n, k)``.  The right-hand side is
+    first projected onto the Laplacian's range (per-component zero sum), so
+    the result is the same limit an iterative solve converges to.
+    """
+    b = np.asarray(b, dtype=float)
+    _, labels = connected_components(graph)
+    counts = np.bincount(labels).astype(float)
+    sums = np.zeros((counts.shape[0],) + b.shape[1:], dtype=float)
+    np.add.at(sums, labels, b)
+    if b.ndim == 1:
+        b = b - (sums / counts)[labels]
+    else:
+        b = b - (sums / counts[:, None])[labels]
+    return _dense_pinv(graph) @ b
+
+
+def dense_effective_resistances(graph: Graph, pairs: Optional[np.ndarray] = None) -> np.ndarray:
+    """Effective resistances from the dense pseudo-inverse.
+
+    Parameters
+    ----------
+    pairs:
+        ``(q, 2)`` array of vertex pairs; ``None`` means one entry per edge
+        of the graph (parallel edges each get their own — equal — entry).
+
+    Returns
+    -------
+    ``(q,)`` resistances.  A pair within one component gets
+    ``R(u, v) = L^+[u, u] + L^+[v, v] - 2 L^+[u, v]``; a pair spanning two
+    components gets ``inf`` (no current can flow); ``u == v`` gets ``0``.
+    """
+    if pairs is None:
+        pairs = np.column_stack([graph.u, graph.v])
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    if pairs.size == 0:
+        return np.zeros(0)
+    a, b = pairs[:, 0], pairs[:, 1]
+    pinv = _dense_pinv(graph)
+    out = pinv[a, a] + pinv[b, b] - 2.0 * pinv[a, b]
+    _, labels = connected_components(graph)
+    out = np.where(labels[a] == labels[b], out, np.inf)
+    return np.where(a == b, 0.0, out)
+
+
+def dense_harmonic_interpolation(
+    graph: Graph, boundary: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """Harmonic extension of ``values`` on ``boundary`` to the whole graph.
+
+    Solves ``L_II x_I = -L_IB x_B`` densely (minimum-norm least squares, so
+    interior components with no path to any boundary vertex — where the
+    block is singular with a zero right-hand side — get exactly ``0``, the
+    behavior the fast implementation pins down).
+
+    ``values`` may be ``(b,)`` or multi-label ``(b, k)``; the result has
+    shape ``(n,)`` / ``(n, k)`` with the boundary rows equal to ``values``.
+    """
+    boundary = np.asarray(boundary, dtype=np.int64).ravel()
+    values = np.asarray(values, dtype=float)
+    single = values.ndim == 1
+    block = values[:, None] if single else values
+    if boundary.shape[0] != block.shape[0]:
+        raise ValueError("values must have one row per boundary vertex")
+    n = graph.n
+    x = np.zeros((n, block.shape[1]))
+    x[boundary] = block
+    interior = np.setdiff1d(np.arange(n, dtype=np.int64), boundary)
+    if interior.size:
+        lap = graph_to_laplacian(graph).toarray()
+        lii = lap[np.ix_(interior, interior)]
+        rhs = -lap[np.ix_(interior, boundary)] @ block
+        x[interior] = np.linalg.lstsq(lii, rhs, rcond=None)[0]
+    return x[:, 0] if single else x
+
+
+def dense_spectral_embedding(graph: Graph, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Smallest ``k`` *nontrivial* Laplacian eigenpairs via dense ``eigh``.
+
+    The ``c`` zero eigenvalues of a ``c``-component graph are skipped by
+    count (not by numerical thresholding).  Returns ``(eigenvalues,
+    vectors)`` with eigenvalues ascending and vectors orthonormal columns.
+    """
+    num_components, _ = connected_components(graph)
+    max_k = graph.n - num_components
+    if k < 1 or k > max_k:
+        raise ValueError(f"k must be in [1, {max_k}] for this graph")
+    evals, evecs = np.linalg.eigh(graph_to_laplacian(graph).toarray())
+    lo = num_components
+    return evals[lo : lo + k], evecs[:, lo : lo + k]
+
+
+def dense_fiedler_value(graph: Graph) -> float:
+    """Smallest nontrivial eigenvalue (algebraic connectivity when connected)."""
+    return float(dense_spectral_embedding(graph, 1)[0][0])
+
+
+def generalized_eigen_extremes(graph_a: Graph, graph_b: Graph) -> Tuple[float, float]:
+    """Extreme generalized eigenvalues of ``(L_A, L_B)`` on the range.
+
+    Both Laplacians are shifted by the rank-one ``11^T / n`` term so the
+    shared all-ones null space does not pollute the pencil; the returned
+    ``(lo, hi)`` certify ``lo * L_B ⪯ L_A ⪯ hi * L_B``.
+    """
+    n = graph_a.n
+    if graph_b.n != n:
+        raise ValueError("graphs must share a vertex set")
+    la = graph_to_laplacian(graph_a).toarray()
+    lb = graph_to_laplacian(graph_b).toarray()
+    shift = np.ones((n, n)) / n
+    evals = np.sort(np.real(sla.eigvalsh(la + shift, lb + shift)))
+    return float(evals[0]), float(evals[-1])

@@ -1,4 +1,9 @@
-"""Shared pytest fixtures."""
+"""Shared pytest fixtures, drawn from the :mod:`repro.testing` fuzz corpus.
+
+The named graphs many tests share (grids, weighted grids, random graphs)
+stay as session fixtures; breadth-style tests parameterize over
+``fuzz_corpus()`` directly (see ``tests/test_property_random.py``).
+"""
 
 from __future__ import annotations
 
@@ -7,6 +12,7 @@ import pytest
 
 from repro.graph import generators
 from repro.graph.graph import Graph
+from repro.testing import CorpusCase, fuzz_corpus
 
 
 @pytest.fixture(scope="session")
@@ -30,3 +36,30 @@ def random_graph() -> Graph:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+# --------------------------------------------------------------------------- #
+# fuzz-corpus fixtures (repro.testing.corpus)
+# --------------------------------------------------------------------------- #
+_CORPUS = fuzz_corpus(seed=0)
+
+
+@pytest.fixture(scope="session")
+def corpus() -> list:
+    """The default seeded fuzz corpus (seed 0), one list for ad-hoc sweeps."""
+    return _CORPUS
+
+
+@pytest.fixture(params=_CORPUS, ids=lambda case: case.name)
+def corpus_case(request) -> CorpusCase:
+    """Parameterized over every case of the seed-0 fuzz corpus."""
+    return request.param
+
+
+@pytest.fixture(
+    params=[case for case in _CORPUS if case.graph.num_edges > 0],
+    ids=lambda case: case.name,
+)
+def edged_corpus_case(request) -> CorpusCase:
+    """Corpus cases with at least one edge (resistance-style workloads)."""
+    return request.param

@@ -16,6 +16,7 @@ from repro.graph import generators
 from repro.graph.graph import Graph
 from repro.graph.laplacian import graph_to_laplacian
 from repro.graph.shortest_paths import dijkstra_distances
+from repro.testing import dense_effective_resistances
 
 
 class TestEffectiveResistances:
@@ -23,6 +24,7 @@ class TestEffectiveResistances:
         g = generators.path_graph(4)
         r = effective_resistances(g, exact=True)
         assert np.allclose(r, 1.0)
+        assert np.allclose(r, dense_effective_resistances(g))
 
     def test_exact_resistance_of_parallel_paths(self):
         # cycle of length 4: each edge sees 1 ohm in series with 3 ohms in parallel
@@ -30,16 +32,22 @@ class TestEffectiveResistances:
         r = effective_resistances(g, exact=True)
         assert np.allclose(r, 0.75)
 
+    def test_exact_path_matches_dense_oracle(self):
+        g = generators.weighted_grid_2d(5, 5, seed=2, spread=20.0)
+        assert np.allclose(
+            effective_resistances(g, exact=True), dense_effective_resistances(g), rtol=1e-10
+        )
+
     def test_solver_based_estimates_close_to_exact(self):
         g = generators.erdos_renyi_gnm(60, 200, seed=0)
-        exact = effective_resistances(g, exact=True)
+        exact = dense_effective_resistances(g)
         approx = effective_resistances(g, jl_dimension=120, seed=1, solver_tol=1e-8)
         rel = np.abs(approx - exact) / exact
         assert np.median(rel) <= 0.35
 
     def test_sum_of_leverage_scores_is_n_minus_one(self):
         g = generators.erdos_renyi_gnm(40, 150, seed=1)
-        r = effective_resistances(g, exact=True)
+        r = dense_effective_resistances(g)
         assert float(np.sum(g.w * r)) == pytest.approx(g.n - 1, rel=1e-6)
 
 

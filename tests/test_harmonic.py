@@ -1,0 +1,145 @@
+"""Tests for harmonic interpolation / label propagation (apps/harmonic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.harmonic import harmonic_interpolation, harmonic_labels
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.laplacian import graph_to_laplacian
+from repro.testing import dense_harmonic_interpolation, disjoint_union
+
+
+def _boundary_and_values(g, *, k=3, seed=0):
+    rng = np.random.default_rng(seed)
+    nb = max(1, g.n // 4)
+    boundary = rng.choice(g.n, size=nb, replace=False)
+    return boundary, rng.standard_normal((nb, k))
+
+
+class TestAgainstDenseOracle:
+    def test_matches_oracle_on_corpus(self, corpus_case):
+        g = corpus_case.graph
+        boundary, values = _boundary_and_values(g, seed=7)
+        got = harmonic_interpolation(g, boundary, values, tol=1e-12).x
+        ref = dense_harmonic_interpolation(g, boundary, values)
+        scale = max(float(np.abs(ref).max()), 1e-12)
+        assert np.abs(got - ref).max() <= 1e-8 * scale
+
+    def test_vector_values_match_oracle(self):
+        g = generators.weighted_grid_2d(5, 5, seed=3, spread=30.0)
+        boundary = np.array([0, 12, 24])
+        values = np.array([1.0, -1.0, 2.0])
+        got = harmonic_interpolation(g, boundary, values, tol=1e-12)
+        ref = dense_harmonic_interpolation(g, boundary, values)
+        assert got.x.shape == (g.n,)
+        assert np.abs(got.x - ref).max() <= 1e-8 * np.abs(ref).max()
+        assert got.converged
+
+
+class TestHarmonicStructure:
+    def test_boundary_values_are_preserved_exactly(self):
+        g = generators.grid_2d(5, 5)
+        boundary = np.array([3, 11, 20])
+        values = np.array([5.0, -2.0, 0.5])
+        x = harmonic_interpolation(g, boundary, values).x
+        assert np.array_equal(x[boundary], values)
+
+    def test_interior_residual_is_zero(self):
+        g = generators.erdos_renyi_gnm(40, 100, seed=2)
+        boundary, values = _boundary_and_values(g, k=2, seed=4)
+        x = harmonic_interpolation(g, boundary, values, tol=1e-12).x
+        residual = graph_to_laplacian(g) @ x
+        interior = np.setdiff1d(np.arange(g.n), boundary)
+        assert np.abs(residual[interior]).max() <= 1e-8
+
+    def test_maximum_principle(self):
+        g = generators.weighted_grid_2d(6, 6, seed=5, spread=20.0)
+        boundary = np.array([0, 35])
+        x = harmonic_interpolation(g, boundary, np.array([0.0, 1.0]), tol=1e-12).x
+        assert x.min() >= -1e-9 and x.max() <= 1.0 + 1e-9
+
+    def test_linear_interpolation_on_path(self):
+        g = generators.path_graph(6)
+        x = harmonic_interpolation(g, np.array([0, 5]), np.array([0.0, 1.0]), tol=1e-12).x
+        assert np.allclose(x, np.linspace(0.0, 1.0, 6), atol=1e-9)
+
+    def test_floating_components_pinned_to_zero(self):
+        g = disjoint_union([generators.path_graph(3), generators.path_graph(4)])
+        res = harmonic_interpolation(g, np.array([0]), np.array([3.0]))
+        assert np.allclose(res.x[:3], 3.0)  # constant in the boundary's component
+        assert np.array_equal(res.x[3:], np.zeros(4))
+        assert set(res.floating.tolist()) == {3, 4, 5, 6}
+
+    def test_all_vertices_boundary(self):
+        g = generators.path_graph(3)
+        values = np.array([1.0, 2.0, 3.0])
+        res = harmonic_interpolation(g, np.arange(3), values)
+        assert np.array_equal(res.x, values)
+        assert res.iterations == 0 and res.converged
+
+
+class TestBatchedLabels:
+    def test_multi_label_matches_looped_single_labels(self):
+        g = generators.weighted_grid_2d(5, 4, seed=6, spread=10.0)
+        boundary, values = _boundary_and_values(g, k=4, seed=8)
+        batched = harmonic_interpolation(g, boundary, values, tol=1e-12).x
+        for j in range(values.shape[1]):
+            single = harmonic_interpolation(g, boundary, values[:, j], tol=1e-12).x
+            assert np.array_equal(single, batched[:, j])
+
+    def test_label_propagation_on_two_clusters(self):
+        # two dense clusters joined by one weak edge: labels stay local
+        a = generators.complete_graph(6)
+        b = generators.complete_graph(6)
+        g = disjoint_union([a, b])
+        g = g.add_edges(np.array([5]), np.array([6]), np.array([1e-3]))
+        res = harmonic_labels(g, np.array([0, 11]), np.array([0, 1]))
+        assert np.all(res.predictions[:6] == 0)
+        assert np.all(res.predictions[6:] == 1)
+        assert res.scores.shape == (12, 2)
+
+    def test_unreachable_vertices_labeled_minus_one(self):
+        g = disjoint_union([generators.path_graph(3), generators.path_graph(3)])
+        res = harmonic_labels(g, np.array([0]), np.array([0]))
+        assert np.all(res.predictions[:3] == 0)
+        assert np.all(res.predictions[3:] == -1)
+
+
+class TestValidation:
+    def test_empty_boundary_raises(self):
+        g = generators.path_graph(3)
+        with pytest.raises(ValueError):
+            harmonic_interpolation(g, np.array([], dtype=int), np.array([]))
+
+    def test_duplicate_boundary_raises(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            harmonic_interpolation(g, np.array([0, 0]), np.array([1.0, 2.0]))
+
+    def test_out_of_range_boundary_raises(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            harmonic_interpolation(g, np.array([4]), np.array([1.0]))
+
+    def test_mismatched_values_raises(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            harmonic_interpolation(g, np.array([0, 1]), np.array([1.0]))
+
+    def test_mismatched_labels_raises(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            harmonic_labels(g, np.array([0, 1]), np.array([0]))
+
+    def test_label_exceeding_num_classes_raises(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError, match="num_classes"):
+            harmonic_labels(g, np.array([0, 1]), np.array([0, 3]), num_classes=2)
+
+    def test_empty_labeled_set_raises(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            harmonic_labels(g, np.array([], dtype=int), np.array([], dtype=int))

@@ -1,0 +1,148 @@
+"""Tests for the batched effective-resistance oracle (apps/resistance).
+
+The exact path is validated against the dense ``pinv`` oracle across the
+full fuzz corpus at 1e-8 relative error; edge cases (single edge, parallel
+edges, cross-component pairs) pin the documented behavior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps.resistance import ResistanceOracle, default_jl_dimension, effective_resistance_pairs
+from repro.apps.sparsification import effective_resistances
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.testing import dense_effective_resistances, disjoint_union
+
+
+def _random_pairs(n, q, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n, size=(q, 2))
+
+
+class TestExactPathAgainstDenseOracle:
+    def test_matches_oracle_on_corpus(self, edged_corpus_case):
+        g = edged_corpus_case.graph
+        oracle = ResistanceOracle(g, seed=0)
+        pairs = _random_pairs(g.n, 8, seed=1)
+        got = oracle.query(pairs, exact=True)
+        ref = dense_effective_resistances(g, pairs)
+        assert np.array_equal(np.isinf(got), np.isinf(ref))
+        finite = np.isfinite(ref) & (ref > 0)
+        assert np.all(np.abs(got[finite] - ref[finite]) <= 1e-8 * ref[finite])
+        assert np.all(got[pairs[:, 0] == pairs[:, 1]] == 0.0)
+
+    def test_edge_resistances_match_oracle(self, edged_corpus_case):
+        g = edged_corpus_case.graph
+        oracle = ResistanceOracle(g, seed=0)
+        got = oracle.edge_resistances(exact=True)
+        ref = dense_effective_resistances(g)
+        assert np.all(np.abs(got - ref) <= 1e-8 * np.maximum(ref, 1e-12))
+
+
+class TestSketchedPath:
+    def test_sketch_estimates_close_on_random_graph(self):
+        g = generators.erdos_renyi_gnm(60, 200, seed=0)
+        oracle = ResistanceOracle(g, seed=1, jl_dimension=150)
+        ref = dense_effective_resistances(g)
+        rel = np.abs(oracle.edge_resistances() - ref) / ref
+        assert np.median(rel) <= 0.35
+
+    def test_sketch_is_built_once_and_reused(self):
+        g = generators.grid_2d(5, 5)
+        oracle = ResistanceOracle(g, seed=0, jl_dimension=16)
+        z1 = oracle.sketch
+        r1 = oracle.query(np.array([[0, 24]]))
+        assert oracle.sketch is z1
+        assert oracle.query(np.array([[0, 24]]))[0] == r1[0]
+
+    def test_default_dimension_bounds(self):
+        assert default_jl_dimension(2, 10.0) == 4
+        assert default_jl_dimension(10**9, 0.01) == 200
+
+
+class TestEdgeCases:
+    """Pinned behavior the module docstring documents."""
+
+    def test_single_edge_graph(self):
+        g = Graph(2, [0], [1], [4.0])
+        assert effective_resistances(g, exact=True)[0] == pytest.approx(0.25)
+        # The JL path agrees on this degenerate instance too.
+        approx = effective_resistances(g, jl_dimension=64, seed=0, solver_tol=1e-12)
+        assert approx[0] == pytest.approx(0.25, rel=0.5)
+        assert ResistanceOracle(g, seed=0).query((0, 1), exact=True)[0] == pytest.approx(0.25, rel=1e-8)
+
+    def test_parallel_edges_report_combined_resistance_per_edge(self):
+        g = Graph(2, [0, 0], [1, 1], [1.0, 3.0])
+        r = effective_resistances(g, exact=True)
+        # each parallel edge reports the resistance of the coalesced pair
+        assert np.allclose(r, 0.25)
+        exact = ResistanceOracle(g, seed=0).edge_resistances(exact=True)
+        assert np.allclose(exact, 0.25, rtol=1e-8)
+
+    def test_cross_component_pairs_return_inf(self):
+        g = disjoint_union([generators.path_graph(3), generators.path_graph(2)])
+        oracle = ResistanceOracle(g, seed=0)
+        pairs = np.array([[0, 3], [2, 4], [0, 2], [3, 4]])
+        for exact in (False, True):
+            r = oracle.query(pairs, exact=exact)
+            assert np.isinf(r[0]) and np.isinf(r[1])
+            assert np.isfinite(r[2]) and np.isfinite(r[3])
+
+    def test_same_vertex_pair_is_zero(self):
+        g = generators.path_graph(4)
+        assert ResistanceOracle(g, seed=0).query((2, 2))[0] == 0.0
+
+    def test_out_of_range_pair_raises(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            ResistanceOracle(g, seed=0).query((0, 4))
+
+    def test_empty_pair_set(self):
+        g = generators.path_graph(4)
+        assert ResistanceOracle(g, seed=0).query(np.zeros((0, 2), dtype=int)).shape == (0,)
+
+
+class TestCachingAndReuse:
+    def test_repeated_oracles_hit_chain_cache(self):
+        repro.clear_chain_cache()
+        g = generators.grid_2d(6, 6)
+        ResistanceOracle(g, seed=0)
+        before = repro.chain_cache_stats()
+        ResistanceOracle(g, seed=0)
+        after = repro.chain_cache_stats()
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_convenience_function_exact(self):
+        g = generators.cycle_graph(4)
+        r = effective_resistance_pairs(g, np.array([[0, 1]]))
+        assert r[0] == pytest.approx(0.75, rel=1e-8)
+
+    def test_operator_reuse(self):
+        g = generators.grid_2d(4, 4)
+        op = repro.factorize(g, seed=0)
+        oracle = ResistanceOracle(g, operator=op)
+        assert oracle.operator is op
+
+    def test_sketch_converged_flag_and_unconverged_warning(self):
+        g = generators.grid_2d(6, 6)
+        oracle = ResistanceOracle(g, seed=0)
+        assert oracle.sketch_converged is None
+        oracle.sketch
+        assert oracle.sketch_converged is True
+        # Starving the solver of iterations must be loudly detectable (the
+        # graph must be large enough for a real multi-level chain — tiny
+        # graphs get the exact bottom solve and converge in one iteration).
+        big = generators.grid_2d(16, 16)
+        starved = ResistanceOracle(
+            big, seed=0, solver=repro.SolverConfig(max_iterations=1), use_cache=False
+        )
+        with pytest.warns(RuntimeWarning, match="did not reach its tolerance"):
+            starved.query((0, big.n - 1), exact=True)
+        with pytest.warns(RuntimeWarning):
+            starved.sketch
+        assert starved.sketch_converged is False

@@ -4,23 +4,13 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-import scipy.linalg as sla
 
 from repro.core.sparse_akpw import low_stretch_subgraph
 from repro.core.sparsify import incremental_sparsify, resistive_stretches
 from repro.graph import generators
-from repro.graph.laplacian import graph_to_laplacian
+from repro.graph.graph import Graph
+from repro.testing import generalized_eigen_extremes
 from repro.graph.mst import minimum_spanning_tree_edges
-
-
-def _generalized_extremes(g_orig, h_graph):
-    """Extreme generalized eigenvalues of (L_G, L_H) on the range."""
-    n = g_orig.n
-    lg = graph_to_laplacian(g_orig).toarray()
-    lh = graph_to_laplacian(h_graph).toarray()
-    shift = np.ones((n, n)) / n
-    evals = np.sort(np.real(sla.eigvalsh(lg + shift, lh + shift)))
-    return float(evals[0]), float(evals[-1])
 
 
 @pytest.fixture(scope="module")
@@ -44,8 +34,6 @@ class TestResistiveStretch:
         assert np.allclose(resistive_stretches(g, tree), tree_stretches(g, tree))
 
     def test_weighted_resistive_stretch(self):
-        from repro.graph.graph import Graph
-
         # triangle: edge 2 has high conductance (low resistance)
         g = Graph(3, [0, 1, 0], [1, 2, 2], [1.0, 1.0, 10.0])
         sub = np.array([0, 1])  # the two unit-conductance edges
@@ -72,7 +60,7 @@ class TestIncrementalSparsify:
         g, sub = grid_and_subgraph
         kappa = 12.0
         res = incremental_sparsify(g, sub, kappa=kappa, seed=2, use_log_factor=False)
-        lo, hi = _generalized_extremes(g, res.graph)
+        lo, hi = generalized_eigen_extremes(g, res.graph)
         assert lo >= 1.0 - 1e-6  # H ⪯ G exactly
         assert hi <= 6.0 * kappa  # G ⪯ O(kappa) H
 
@@ -80,7 +68,7 @@ class TestIncrementalSparsify:
         """The unbiased variant has generalized eigenvalues straddling 1."""
         g, sub = grid_and_subgraph
         res = incremental_sparsify(g, sub, kappa=8.0, seed=3, use_log_factor=True, reweight=True)
-        lo, hi = _generalized_extremes(g, res.graph)
+        lo, hi = generalized_eigen_extremes(g, res.graph)
         assert lo <= 1.0 + 1e-6 <= hi + 1.0  # lower end at or below 1
 
     def test_all_edges_in_subgraph_shortcut(self):

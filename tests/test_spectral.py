@@ -1,0 +1,113 @@
+"""Tests for spectral embeddings / Fiedler vectors (apps/spectral)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.spectral import component_nullspace_basis, fiedler_vector, spectral_embedding
+from repro.graph import generators
+from repro.graph.components import connected_components
+from repro.graph.laplacian import graph_to_laplacian
+from repro.testing import dense_fiedler_value, dense_spectral_embedding, disjoint_union
+
+
+class TestAgainstDenseOracle:
+    def test_eigenvalues_match_oracle_on_corpus(self, corpus_case):
+        g = corpus_case.graph
+        num_components, _ = connected_components(g)
+        max_k = g.n - num_components
+        if max_k < 1:
+            pytest.skip("graph has no nontrivial eigenpairs")
+        k = min(2, max_k)
+        result = spectral_embedding(g, k, seed=0)
+        evals_ref, _ = dense_spectral_embedding(g, k)
+        assert result.converged
+        assert np.all(np.abs(result.eigenvalues - evals_ref) <= 1e-8 * evals_ref)
+
+    def test_vectors_satisfy_eigen_equation(self, corpus_case):
+        g = corpus_case.graph
+        num_components, _ = connected_components(g)
+        if g.n - num_components < 1:
+            pytest.skip("graph has no nontrivial eigenpairs")
+        result = spectral_embedding(g, 1, seed=0)
+        lap = graph_to_laplacian(g)
+        v = result.vectors[:, 0]
+        lam = result.eigenvalues[0]
+        assert np.linalg.norm(lap @ v - lam * v) <= 1e-7 * max(lam, 1e-12)
+
+    def test_fiedler_value_of_path(self):
+        n = 10
+        lam, v = fiedler_vector(generators.path_graph(n), seed=0)
+        assert lam == pytest.approx(4.0 * np.sin(np.pi / (2 * n)) ** 2, rel=1e-8)
+        # The Fiedler vector of a path is monotone: one sign change.
+        signs = np.sign(v[np.abs(v) > 1e-9])
+        assert np.count_nonzero(np.diff(signs) != 0) == 1
+
+    def test_fiedler_matches_dense_on_weighted_graph(self):
+        g = generators.weighted_grid_2d(5, 4, seed=2, spread=30.0)
+        lam, _ = fiedler_vector(g, seed=0)
+        assert lam == pytest.approx(dense_fiedler_value(g), rel=1e-8)
+
+
+class TestStructure:
+    def test_vectors_are_orthonormal_and_deflated(self):
+        g = disjoint_union([generators.grid_2d(3, 3), generators.path_graph(4)])
+        result = spectral_embedding(g, 3, seed=1)
+        v = result.vectors
+        assert np.allclose(v.T @ v, np.eye(3), atol=1e-8)
+        basis = component_nullspace_basis(g)
+        assert np.abs(basis.T @ v).max() <= 1e-8
+
+    def test_component_nullspace_basis_spans_kernel(self):
+        g = disjoint_union([generators.path_graph(3), generators.cycle_graph(4)])
+        basis = component_nullspace_basis(g)
+        assert basis.shape == (7, 2)
+        assert np.allclose(basis.T @ basis, np.eye(2), atol=1e-12)
+        assert np.abs(graph_to_laplacian(g) @ basis).max() <= 1e-12
+
+    def test_disconnected_graph_returns_nontrivial_pairs(self):
+        g = disjoint_union([generators.cycle_graph(5), generators.cycle_graph(6)])
+        result = spectral_embedding(g, 2, seed=0)
+        evals_ref, _ = dense_spectral_embedding(g, 2)
+        assert np.all(result.eigenvalues > 1e-8)
+        assert np.allclose(result.eigenvalues, evals_ref, rtol=1e-8)
+
+    def test_eigenvalues_ascending(self):
+        g = generators.erdos_renyi_gnm(30, 70, seed=3)
+        result = spectral_embedding(g, 4, seed=0)
+        assert np.all(np.diff(result.eigenvalues) >= -1e-12)
+
+    def test_embedding_separates_weakly_joined_clusters(self):
+        a = generators.complete_graph(8)
+        b = generators.complete_graph(8)
+        g = disjoint_union([a, b]).add_edges(np.array([0]), np.array([8]), np.array([1e-3]))
+        _, v = fiedler_vector(g, seed=0)
+        assert len(set(np.sign(v[:8]).tolist())) == 1
+        assert len(set(np.sign(v[8:]).tolist())) == 1
+        assert np.sign(v[0]) != np.sign(v[8])
+
+
+class TestValidation:
+    def test_k_zero_raises(self):
+        with pytest.raises(ValueError):
+            spectral_embedding(generators.path_graph(4), 0)
+
+    def test_k_exceeding_nontrivial_dimension_raises(self):
+        g = disjoint_union([generators.path_graph(2), generators.path_graph(2)])
+        with pytest.raises(ValueError):
+            spectral_embedding(g, 3)
+
+    def test_single_vertex_raises(self):
+        from repro.graph.graph import Graph
+
+        with pytest.raises(ValueError):
+            spectral_embedding(Graph(1, [], [], []), 1)
+
+    def test_operator_reuse(self):
+        import repro
+
+        g = generators.grid_2d(4, 4)
+        op = repro.factorize(g, seed=0)
+        result = spectral_embedding(g, 2, operator=op, seed=0)
+        assert result.converged

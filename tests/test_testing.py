@@ -1,0 +1,156 @@
+"""Tests of the test infrastructure itself (corpus determinism + oracles)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.components import connected_components
+from repro.graph.graph import Graph
+from repro.graph.laplacian import graph_to_laplacian
+from repro.testing import (
+    corpus_names,
+    dense_effective_resistances,
+    dense_fiedler_value,
+    dense_harmonic_interpolation,
+    dense_solve_laplacian,
+    dense_spectral_embedding,
+    disjoint_union,
+    fuzz_corpus,
+    generalized_eigen_extremes,
+    random_tree,
+    with_parallel_edges,
+)
+
+
+class TestCorpus:
+    def test_deterministic_for_fixed_seed(self):
+        a = fuzz_corpus(seed=5)
+        b = fuzz_corpus(seed=5)
+        assert [c.name for c in a] == [c.name for c in b]
+        for ca, cb in zip(a, b):
+            assert ca.graph == cb.graph
+
+    def test_seeds_change_randomized_cases(self):
+        a = {c.name: c.graph for c in fuzz_corpus(seed=0)}
+        b = {c.name: c.graph for c in fuzz_corpus(seed=1)}
+        assert a["tree_20"] != b["tree_20"]
+        assert a["path_12"] == b["path_12"]  # structured cases are fixed
+
+    def test_covers_required_shapes(self):
+        cases = fuzz_corpus(seed=0)
+        tags = set().union(*(c.tags for c in cases))
+        assert {"tree", "disconnected", "multigraph", "weighted", "edgeless"} <= tags
+        sizes = {c.graph.n for c in cases}
+        assert 1 in sizes  # single vertex
+        assert any(c.graph.num_edges == 1 and c.graph.n == 2 for c in cases)  # single edge
+
+    def test_names_are_unique_and_stable(self):
+        names = corpus_names(seed=0)
+        assert len(names) == len(set(names))
+        assert corpus_names(seed=3) == names
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(40, seed=2, weighted=True)
+        count, _ = connected_components(g)
+        assert count == 1 and g.num_edges == g.n - 1
+
+    def test_with_parallel_edges_adds_duplicates(self):
+        g = with_parallel_edges(generators.path_graph(6), seed=0, fraction=0.5)
+        coalesced, _ = g.coalesce()
+        assert g.num_edges > coalesced.num_edges
+
+    def test_disjoint_union_offsets_vertices(self):
+        g = disjoint_union([generators.path_graph(3), generators.path_graph(2)])
+        assert g.n == 5 and g.num_edges == 3
+        count, _ = connected_components(g)
+        assert count == 2
+
+
+class TestDenseResistanceOracle:
+    def test_path_edges_have_unit_resistance(self):
+        assert np.allclose(dense_effective_resistances(generators.path_graph(5)), 1.0)
+
+    def test_series_pair(self):
+        g = generators.path_graph(4)
+        r = dense_effective_resistances(g, pairs=np.array([[0, 3]]))
+        assert r[0] == pytest.approx(3.0)
+
+    def test_parallel_edges_combine_conductance(self):
+        g = Graph(2, [0, 0], [1, 1], [1.0, 3.0])
+        r = dense_effective_resistances(g)
+        assert np.allclose(r, 0.25)
+
+    def test_cross_component_is_inf_same_vertex_is_zero(self):
+        g = disjoint_union([generators.path_graph(2), generators.path_graph(2)])
+        r = dense_effective_resistances(g, pairs=np.array([[0, 2], [1, 1], [0, 1]]))
+        assert np.isinf(r[0]) and r[1] == 0.0 and np.isfinite(r[2])
+
+
+class TestDenseHarmonicOracle:
+    def test_linear_interpolation_on_path(self):
+        g = generators.path_graph(5)
+        x = dense_harmonic_interpolation(g, np.array([0, 4]), np.array([0.0, 1.0]))
+        assert np.allclose(x, np.linspace(0.0, 1.0, 5))
+
+    def test_respects_laplacian_equation_on_interior(self):
+        g = generators.weighted_grid_2d(4, 5, seed=1, spread=10.0)
+        boundary = np.array([0, 7, 19])
+        x = dense_harmonic_interpolation(g, boundary, np.array([1.0, -2.0, 0.5]))
+        residual = graph_to_laplacian(g) @ x
+        interior = np.setdiff1d(np.arange(g.n), boundary)
+        assert np.allclose(residual[interior], 0.0, atol=1e-10)
+
+    def test_unreachable_component_pinned_to_zero(self):
+        g = disjoint_union([generators.path_graph(3), generators.path_graph(3)])
+        x = dense_harmonic_interpolation(g, np.array([0]), np.array([7.0]))
+        assert np.allclose(x[:3], 7.0)  # constant extension in the boundary's component
+        assert np.allclose(x[3:], 0.0)  # no information: pinned to zero
+
+
+class TestDenseSpectralOracle:
+    def test_path_fiedler_value(self):
+        # lambda_2 of a path = 4 sin^2(pi / (2n))
+        n = 6
+        expected = 4.0 * np.sin(np.pi / (2 * n)) ** 2
+        assert dense_fiedler_value(generators.path_graph(n)) == pytest.approx(expected)
+
+    def test_skips_all_zero_modes_of_disconnected_graph(self):
+        g = disjoint_union([generators.path_graph(3), generators.path_graph(3)])
+        evals, vecs = dense_spectral_embedding(g, 2)
+        assert np.all(evals > 1e-8)
+        assert vecs.shape == (6, 2)
+
+    def test_k_out_of_range_raises(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            dense_spectral_embedding(g, 4)
+
+    def test_eigenpairs_satisfy_equation(self):
+        g = generators.erdos_renyi_gnm(20, 40, seed=0)
+        evals, vecs = dense_spectral_embedding(g, 3)
+        lap = graph_to_laplacian(g)
+        assert np.allclose(lap @ vecs, vecs * evals, atol=1e-9)
+
+
+class TestDenseSolveAndPencil:
+    def test_dense_solve_matches_laplacian_equation(self):
+        g = generators.weighted_grid_2d(4, 4, seed=0, spread=5.0)
+        b = np.random.default_rng(0).standard_normal(g.n)
+        x = dense_solve_laplacian(g, b)
+        assert np.allclose(graph_to_laplacian(g) @ x, b - b.mean(), atol=1e-9)
+
+    def test_generalized_extremes_identity_pair(self):
+        g = generators.grid_2d(4, 4)
+        lo, hi = generalized_eigen_extremes(g, g)
+        assert lo == pytest.approx(1.0, abs=1e-8)
+        assert hi == pytest.approx(1.0, abs=1e-8)
+
+    def test_generalized_extremes_scaled_pair(self):
+        g = generators.grid_2d(4, 4)
+        lo, hi = generalized_eigen_extremes(g, g.reweighted(2.0 * g.w))
+        # Range directions give 1/2; the all-ones direction (carried by the
+        # rank-one shift on both sides) contributes exactly 1.
+        assert lo == pytest.approx(0.5, abs=1e-8)
+        assert hi == pytest.approx(1.0, abs=1e-8)
