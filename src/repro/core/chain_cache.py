@@ -24,13 +24,21 @@ The cache is intentionally tiny and synchronous: a lock-guarded
 ``OrderedDict`` with a bounded capacity.  Use :func:`clear_chain_cache`
 between benchmark phases and :func:`chain_cache_stats` to observe hit rates.
 
-Concurrency caveat: the *table* is lock-guarded, but the cached
-:class:`LaplacianOperator` objects themselves are not thread-safe — a hit
-hands every caller the same operator, whose ``solve`` mutates its private
-cost model (and lazily fills Chebyshev bounds / the dense baseline factor).
-Concurrent solves on one cached operator can interleave those mutations and
-mis-attribute per-solve work/depth deltas; multi-threaded services should
-factorize per thread (``cache=False``) or serialize solves per operator.
+Concurrency: both the *table* (lock-guarded here) and the cached
+:class:`~repro.core.operator.LaplacianOperator` objects are safe to share
+across threads.  ``solve`` is re-entrant — every call charges a private
+:class:`~repro.core.operator.SolveContext`, and the operator's lazy
+initializers (Chebyshev bounds, the dense/Jacobi baselines) are serialized
+by a setup lock — so a hit can hand the same operator to any number of
+concurrent callers and each solve reports the same ``x``/``work``/``depth``
+bit for bit as a serial run.  A multi-threaded service therefore wants
+exactly this cache: factorize once (``cache=True``, integer seed) and serve
+every request thread from the shared operator.
+
+The only table-level nondeterminism under concurrency is benign: two
+threads that *miss* on the same key both build the (identical) operator and
+the second ``store`` wins, so hit/miss counters depend on arrival order —
+warm the cache first when exact accounting matters.
 """
 
 from __future__ import annotations

@@ -224,7 +224,14 @@ class EliminationResult:
 
     @property
     def transfer(self) -> "TransferOperators":
-        """Compiled solve-transfer operators for this elimination (cached)."""
+        """Compiled solve-transfer operators for this elimination (cached).
+
+        The fill is a benign race under concurrent access: compilation is
+        deterministic, so two threads that both see ``None`` produce
+        interchangeable immutable objects and the second assignment wins
+        harmlessly.  Chain levels built by ``build_chain`` precompile their
+        transfers at factorize time and never hit this path from a solve.
+        """
         if self._transfer is None:
             from repro.core.transfer import compile_transfers
 

@@ -30,8 +30,13 @@ import numpy as np
 
 from repro.linalg.cg import BatchedCGResult, batched_conjugate_gradient
 
-#: Signature of a solve strategy: ``(operator, rhs, tol, max_iterations)`` ->
-#: :class:`~repro.linalg.cg.BatchedCGResult`.  ``rhs`` is always ``(n, k)``.
+#: Signature of a solve strategy:
+#: ``(operator, ctx, rhs, tol, max_iterations)`` ->
+#: :class:`~repro.linalg.cg.BatchedCGResult`.  ``rhs`` is always ``(n, k)``;
+#: ``ctx`` is the per-call :class:`~repro.core.operator.SolveContext` — a
+#: strategy must charge all per-solve work/depth through it (and request
+#: preconditioners bound to it) rather than mutating operator state, which is
+#: what keeps one operator safe to solve from many threads.
 MethodRunner = Callable[..., BatchedCGResult]
 
 
@@ -90,20 +95,20 @@ def available_methods() -> Tuple[str, ...]:
 # built-in strategies
 # --------------------------------------------------------------------------- #
 @register_method("pcg")
-def _run_pcg(operator, rhs: np.ndarray, tol: float, max_iterations: int) -> BatchedCGResult:
+def _run_pcg(operator, ctx, rhs: np.ndarray, tol: float, max_iterations: int) -> BatchedCGResult:
     """Outer CG preconditioned by the chain (inner CG smoothing)."""
     return batched_conjugate_gradient(
         operator.laplacian,
         rhs,
         tol=tol,
         max_iterations=max_iterations,
-        preconditioner=operator.chain_preconditioner("pcg"),
-        on_iteration=operator.charge_outer_iteration,
+        preconditioner=operator.chain_preconditioner("pcg", ctx),
+        on_iteration=lambda cols: operator.charge_outer_iteration(ctx, cols),
     )
 
 
 @register_method("chebyshev")
-def _run_chebyshev(operator, rhs: np.ndarray, tol: float, max_iterations: int) -> BatchedCGResult:
+def _run_chebyshev(operator, ctx, rhs: np.ndarray, tol: float, max_iterations: int) -> BatchedCGResult:
     """Outer CG preconditioned by the chain (inner Chebyshev, Lemma 6.7)."""
     operator.ensure_chebyshev_bounds()
     return batched_conjugate_gradient(
@@ -111,13 +116,13 @@ def _run_chebyshev(operator, rhs: np.ndarray, tol: float, max_iterations: int) -
         rhs,
         tol=tol,
         max_iterations=max_iterations,
-        preconditioner=operator.chain_preconditioner("chebyshev"),
-        on_iteration=operator.charge_outer_iteration,
+        preconditioner=operator.chain_preconditioner("chebyshev", ctx),
+        on_iteration=lambda cols: operator.charge_outer_iteration(ctx, cols),
     )
 
 
 @register_method("jacobi", uses_chain=False)
-def _run_jacobi(operator, rhs: np.ndarray, tol: float, max_iterations: int) -> BatchedCGResult:
+def _run_jacobi(operator, ctx, rhs: np.ndarray, tol: float, max_iterations: int) -> BatchedCGResult:
     """Diagonal-preconditioned CG baseline (no chain)."""
     return batched_conjugate_gradient(
         operator.laplacian,
@@ -125,17 +130,22 @@ def _run_jacobi(operator, rhs: np.ndarray, tol: float, max_iterations: int) -> B
         tol=tol,
         max_iterations=max_iterations,
         preconditioner=operator.jacobi_preconditioner(),
-        on_iteration=operator.charge_outer_iteration,
+        on_iteration=lambda cols: operator.charge_outer_iteration(ctx, cols),
     )
 
 
 @register_method("direct", uses_chain=False)
-def _run_direct(operator, rhs: np.ndarray, tol: float, max_iterations: int) -> BatchedCGResult:
-    """Dense pseudo-inverse solve (Fact 6.4 machinery as a baseline)."""
+def _run_direct(operator, ctx, rhs: np.ndarray, tol: float, max_iterations: int) -> BatchedCGResult:
+    """Dense pseudo-inverse solve (Fact 6.4 machinery as a baseline).
+
+    The one-time dense factorization is charged to the operator's *setup*
+    accounting inside :meth:`dense_pseudoinverse`; only the per-application
+    cost lands on this solve's context.
+    """
     pinv = operator.dense_pseudoinverse()
     x = pinv @ rhs
     k = rhs.shape[1]
-    operator.cost.charge(work=float(pinv.shape[0]) ** 2 * k, depth=np.log2(max(pinv.shape[0], 2)))
+    ctx.cost.charge(work=float(pinv.shape[0]) ** 2 * k, depth=np.log2(max(pinv.shape[0], 2)))
     b_norm = np.linalg.norm(rhs, axis=0)
     residual = np.linalg.norm(operator.laplacian @ x - rhs, axis=0)
     res = np.where(b_norm > 0, residual / np.where(b_norm > 0, b_norm, 1.0), 0.0)

@@ -22,11 +22,23 @@ lifecycle explicit:
 
 The iteration strategy is pluggable through :mod:`repro.core.methods`
 (``pcg``, ``chebyshev``, plus the ``jacobi`` / ``direct`` baselines).
+
+Concurrency: :meth:`LaplacianOperator.solve` is **re-entrant**.  Every call
+allocates a private :class:`SolveContext` carrying its own
+:class:`~repro.pram.model.CostModel`; all per-solve charging (outer
+iterations, inner smoothing, elimination transfers, bottom solves) flows
+through the context, never through shared operator state, so concurrent
+solves on one operator return bit-identical ``x``/``work``/``depth`` to
+serial runs.  The one-time lazy initializers (Chebyshev bound calibration,
+the dense pseudo-inverse and Jacobi baselines) are guarded by a setup lock
+and charge the operator's *setup* accounting — their cost never appears in
+any :class:`SolveReport`, cold start or warm.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -99,6 +111,26 @@ class SolveReport:
     column_iterations: Optional[np.ndarray] = None
     column_residuals: Optional[np.ndarray] = None
     column_converged: Optional[np.ndarray] = None
+
+
+@dataclass
+class SolveContext:
+    """Private mutable state of one :meth:`LaplacianOperator.solve` call.
+
+    Created fresh per call and threaded through the method runner, the chain
+    preconditioner closures, and every PRAM charging hook, so nothing a
+    solve mutates is shared between concurrent calls.  When the solve
+    finishes, the context's cost model becomes the report's ``work``/``depth``
+    and is folded into the operator's cumulative model under a lock.
+
+    Attributes
+    ----------
+    cost:
+        The per-call :class:`~repro.pram.model.CostModel`; single-owner by
+        construction (see the threading contract in :mod:`repro.pram.model`).
+    """
+
+    cost: CostModel
 
 
 class _ComponentProjector:
@@ -188,26 +220,17 @@ class LaplacianOperator:
             _, lvl_labels = connected_components(level.graph)
             self._level_projectors.append(_ComponentProjector(lvl_labels))
 
-        # Per-(inner-kind, level) preconditioner closures, and the top-level
-        # entry point, all chosen once here instead of per solve call.
-        self._level_preconditioners: Dict[str, List[Callable[[np.ndarray], np.ndarray]]] = {}
-        self._top_preconditioners: Dict[str, Callable[[np.ndarray], np.ndarray]] = {}
-        for inner in _CHAIN_INNER:
-            self._level_preconditioners[inner] = [
-                (lambda r, i=i, inner=inner: self._apply_preconditioner(i, r, inner))
-                for i in range(chain.depth - 1)
-            ]
-            if chain.depth > 1:
-                self._top_preconditioners[inner] = self._level_preconditioners[inner][0]
-            else:
-                self._top_preconditioners[inner] = self._solve_bottom
-
+        # One-time lazy state, shared by every solve once initialized:
         # Chebyshev bounds (Lemma 6.7) — calibrated eagerly when the
-        # configured method is "chebyshev", on demand otherwise.
+        # configured method is "chebyshev", on demand otherwise — plus the
+        # dense pseudo-inverse and diagonal preconditioner baselines.  The
+        # setup lock serializes cold-start initialization so concurrent
+        # solves neither race the fills nor duplicate the work; the
+        # accounting lock serializes merges into the cumulative cost model.
+        self._setup_lock = threading.Lock()
+        self._accounting_lock = threading.Lock()
         self._chebyshev_bounds: List[Optional[Tuple[float, float]]] = [None] * chain.depth
         self._chebyshev_ready = False
-        # Dense pseudo-inverse for the "direct" baseline method (declared
-        # here, filled on first use).
         self._dense_pinv: Optional[np.ndarray] = None
         self._jacobi_apply: Optional[Callable[[np.ndarray], np.ndarray]] = None
 
@@ -252,64 +275,115 @@ class LaplacianOperator:
     # ------------------------------------------------------------------ #
     # hooks used by the method registry
     # ------------------------------------------------------------------ #
-    def chain_preconditioner(self, inner: str) -> Callable[[np.ndarray], np.ndarray]:
-        """Top-level preconditioner entry (chain descent or bottom solve)."""
-        return self._top_preconditioners[inner]
+    def chain_preconditioner(
+        self, inner: str, ctx: SolveContext
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Top-level preconditioner entry (chain descent or bottom solve).
 
-    def charge_outer_iteration(self, active_columns: int) -> None:
+        The returned closure binds ``ctx`` so every charge it generates goes
+        to the calling solve's private cost model.
+        """
+        if inner not in _CHAIN_INNER:  # pragma: no cover - registry misuse
+            raise ValueError(f"unknown inner iteration kind {inner!r}")
+        if self.chain.depth > 1:
+            return lambda r: self._apply_preconditioner(0, r, inner, ctx)
+        return lambda b: self._solve_bottom(b, ctx)
+
+    def charge_outer_iteration(self, ctx: SolveContext, active_columns: int) -> None:
         """Charge one outer iteration over ``active_columns`` columns."""
-        self.cost.charge(
+        ctx.cost.charge(
             work=float(max(self.laplacian.nnz, 1)) * active_columns,
             depth=log2ceil(self.graph.n),
         )
 
+    def _charge_setup(self, work: float, depth: float) -> None:
+        """Fold one-time lazy-initializer cost into the setup accounting.
+
+        Lazy setup (Chebyshev calibration, the dense baseline factorization)
+        is charged here — to the operator, never to a solve context — so a
+        solve's reported ``work``/``depth`` is identical whether or not it
+        happened to be the call that triggered initialization.
+        """
+        with self._accounting_lock:
+            self.cost.charge(work=work, depth=depth)
+            self.setup_work += work
+            self.setup_depth += depth
+
     def jacobi_preconditioner(self) -> Callable[[np.ndarray], np.ndarray]:
-        """Diagonal preconditioner of the (reduced) Laplacian (baseline)."""
+        """Diagonal preconditioner of the (reduced) Laplacian (baseline).
+
+        Setup charges land *before* the initialized state is published (here
+        and in the other lazy initializers): a thread that takes the
+        unlocked fast path can therefore never observe setup state whose
+        cost has not yet reached ``setup_work``/``setup_depth``.
+        """
         if self._jacobi_apply is None:
-            self._jacobi_apply = jacobi_preconditioner(self.laplacian)
+            with self._setup_lock:
+                if self._jacobi_apply is None:
+                    apply = jacobi_preconditioner(self.laplacian)
+                    self._charge_setup(float(self.graph.n), 1.0)
+                    self._jacobi_apply = apply
         return self._jacobi_apply
 
     def dense_pseudoinverse(self) -> np.ndarray:
         """Dense pseudo-inverse of the (reduced) Laplacian (baseline)."""
         if self._dense_pinv is None:
-            self._dense_pinv = laplacian_pseudoinverse(self.laplacian)
-            self.cost.charge(work=float(self.graph.n) ** 3, depth=float(self.graph.n))
+            with self._setup_lock:
+                if self._dense_pinv is None:
+                    pinv = laplacian_pseudoinverse(self.laplacian)
+                    self._charge_setup(float(self.graph.n) ** 3, float(self.graph.n))
+                    self._dense_pinv = pinv
         return self._dense_pinv
 
     def ensure_chebyshev_bounds(self) -> None:
-        """Estimate per-level spectral bounds of the preconditioned systems."""
+        """Estimate per-level spectral bounds of the preconditioned systems.
+
+        Double-checked under the setup lock: concurrent cold-start solves
+        calibrate exactly once (the losers of the race block until the bounds
+        are published, then proceed with them).  Calibration cost — including
+        the recursive preconditioner applications it performs — is charged to
+        the setup accounting via a private context.
+        """
         if self._chebyshev_ready:
             return
-        for i in range(self.chain.depth - 1):
-            level = self.chain.levels[i]
-            lo, hi = estimate_extreme_eigenvalues(
-                lambda v, lap=level.laplacian: lap @ v,
-                self._level_preconditioners["chebyshev"][i],
-                level.num_vertices,
-                seed=self._rng,
-                project=self._level_projectors[i],
-            )
-            self._chebyshev_bounds[i] = (lo, hi)
-        self._chebyshev_ready = True
+        with self._setup_lock:
+            if self._chebyshev_ready:
+                return
+            ctx = SolveContext(cost=self.cost.child())
+            for i in range(self.chain.depth - 1):
+                level = self.chain.levels[i]
+                lo, hi = estimate_extreme_eigenvalues(
+                    lambda v, lap=level.laplacian: lap @ v,
+                    lambda r, i=i: self._apply_preconditioner(i, r, "chebyshev", ctx),
+                    level.num_vertices,
+                    seed=self._rng,
+                    project=self._level_projectors[i],
+                )
+                self._chebyshev_bounds[i] = (lo, hi)
+            # Charge before publishing readiness (see jacobi_preconditioner).
+            self._charge_setup(ctx.cost.work, ctx.cost.depth)
+            self._chebyshev_ready = True
 
     # ------------------------------------------------------------------ #
     # recursive preconditioner (batched)
     # ------------------------------------------------------------------ #
-    def _solve_bottom(self, b: np.ndarray) -> np.ndarray:
+    def _solve_bottom(self, b: np.ndarray, ctx: SolveContext) -> np.ndarray:
         solver = self.chain.bottom_solver
         width = b.shape[1] if b.ndim == 2 else 1
         # Two triangular sweeps over the sparse factor per column.
-        self.cost.charge(
+        ctx.cost.charge(
             work=float(max(solver.factor_nnz, solver.n)) * width,
             depth=math.log2(max(solver.n, 2)),
         )
         return solver.solve(b)
 
-    def _apply_preconditioner(self, level_index: int, r: np.ndarray, inner: str) -> np.ndarray:
+    def _apply_preconditioner(
+        self, level_index: int, r: np.ndarray, inner: str, ctx: SolveContext
+    ) -> np.ndarray:
         """Approximate ``B_i^+ r`` via compiled elimination transfer + recursive solve."""
         r = np.asarray(r, dtype=float)
         if r.ndim == 1:
-            return self._apply_preconditioner(level_index, r[:, None], inner)[:, 0]
+            return self._apply_preconditioner(level_index, r[:, None], inner, ctx)[:, 0]
         level = self.chain.levels[level_index]
         assert level.elimination is not None
         elim = level.elimination
@@ -317,25 +391,27 @@ class LaplacianOperator:
         # to the elimination's lazy compile for hand-assembled chains.
         transfers = level.transfers if level.transfers is not None else elim.transfer
         width = r.shape[1]
-        charge_elimination_transfer(self.cost, elim.num_eliminated, elim.rounds, width)
+        charge_elimination_transfer(ctx.cost, elim.num_eliminated, elim.rounds, width)
         r_reduced, carry = transfers.forward(r)
-        x_reduced = self._solve_level(level_index + 1, r_reduced, inner)
+        x_reduced = self._solve_level(level_index + 1, r_reduced, inner, ctx)
         x = transfers.backward(carry, x_reduced)
-        charge_elimination_transfer(self.cost, elim.num_eliminated, elim.rounds, width)
+        charge_elimination_transfer(ctx.cost, elim.num_eliminated, elim.rounds, width)
         return x
 
-    def _solve_level(self, level_index: int, b: np.ndarray, inner: str) -> np.ndarray:
+    def _solve_level(
+        self, level_index: int, b: np.ndarray, inner: str, ctx: SolveContext
+    ) -> np.ndarray:
         """Approximately solve ``A_i x = b`` with the fixed per-level budget."""
         if level_index >= self.chain.depth - 1:
-            return self._solve_bottom(b)
+            return self._solve_bottom(b, ctx)
         level = self.chain.levels[level_index]
         lap = level.laplacian
         project = self._level_projectors[level_index]
         b = project(b)
-        preconditioner = self._level_preconditioners[inner][level_index]
+        preconditioner = lambda r: self._apply_preconditioner(level_index, r, inner, ctx)
         iters = self.inner_iterations
         width = b.shape[1] if b.ndim == 2 else 1
-        self.cost.charge(
+        ctx.cost.charge(
             work=float(iters) * max(lap.nnz, 1) * width,
             depth=float(iters) * math.log2(max(level.num_vertices, 2)),
         )
@@ -378,16 +454,29 @@ class LaplacianOperator:
             Right-hand side(s): shape ``(n,)`` for a single solve or
             ``(n, k)`` for ``k`` simultaneous solves sharing the factorized
             chain.  For pure Laplacian inputs each column is projected onto
-            the range (per-component zero sum).
+            the range (per-component zero sum).  An empty ``(n, 0)`` batch is
+            a no-op: the report carries an empty ``(n, 0)`` solution with
+            ``converged=True`` and zero iterations/work, so callers slicing
+            right-hand-side blocks need no special case.
         tol:
             Relative 2-norm residual target; defaults to the
-            :class:`SolverConfig` value.
+            :class:`SolverConfig` value.  Must be positive — the same
+            validation :class:`SolverConfig` applies at construction time
+            (``tol=0.0`` would otherwise stall in the stagnation break and
+            report a misleading unconverged result).
         max_iterations:
             Cap on outer iterations; defaults to the :class:`SolverConfig`
-            value.
+            value.  Must be ``>= 1``.
         method:
             Optional per-call override of the configured solve method (a
             name registered in :mod:`repro.core.methods`).
+
+        Notes
+        -----
+        This method is re-entrant: concurrent calls on one operator (cached
+        or not) are safe and report the same ``x``/``work``/``depth`` bit for
+        bit as serial calls.  See the module docstring for how per-call
+        contexts and the setup lock make that hold.
         """
         b = np.asarray(b, dtype=float)
         if b.ndim not in (1, 2):
@@ -397,16 +486,20 @@ class LaplacianOperator:
         single = b.ndim == 1
         rhs_block = b[:, None] if single else b
         width = rhs_block.shape[1]
-        if width == 0:
-            raise ValueError("batched right-hand side must have at least one column")
 
         cfg = self.solver_config
         tol = cfg.tol if tol is None else float(tol)
+        if not tol > 0:
+            raise ValueError(f"tol must be positive (got {tol})")
         max_iterations = cfg.max_iterations if max_iterations is None else int(max_iterations)
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1 (got {max_iterations})")
         spec = get_method(cfg.method if method is None else method)
 
-        work_before = self.cost.work
-        depth_before = self.cost.depth
+        if width == 0:
+            return self._empty_report()
+
+        ctx = SolveContext(cost=self.cost.child())
 
         if self.reduction is not None and not self.reduction.trivial:
             rhs = self.reduction.expand_rhs(rhs_block)
@@ -414,7 +507,7 @@ class LaplacianOperator:
             rhs = rhs_block
         rhs = self._projector(rhs)
 
-        result = spec.run(self, rhs, tol, max_iterations)
+        result = spec.run(self, ctx, rhs, tol, max_iterations)
         x = self._projector(result.x)
 
         if self.reduction is not None and not self.reduction.trivial:
@@ -431,8 +524,8 @@ class LaplacianOperator:
             iterations=int(result.iterations.max(initial=0)),
             relative_residual=float(rel.max(initial=0.0)),
             converged=bool(result.converged.all()),
-            work=self.cost.work - work_before,
-            depth=self.cost.depth - depth_before,
+            work=ctx.cost.work,
+            depth=ctx.cost.depth,
             stats={
                 "chain_levels": float(self.chain.depth),
                 "inner_iterations": float(self.inner_iterations),
@@ -444,7 +537,33 @@ class LaplacianOperator:
             column_residuals=None if single else np.asarray(rel, dtype=float).copy(),
             column_converged=None if single else result.converged.copy(),
         )
+        # Cumulative operator-level accounting (what ``op.cost`` exposes to
+        # benchmarks and caller-supplied models) — the only cross-solve
+        # mutation left, serialized here.
+        with self._accounting_lock:
+            self.cost.sequential(ctx.cost)
         return report
+
+    def _empty_report(self) -> SolveReport:
+        """The trivial report for a ``(n, 0)`` batched right-hand side."""
+        return SolveReport(
+            x=np.zeros((self._original_n, 0)),
+            iterations=0,
+            relative_residual=0.0,
+            converged=True,
+            work=0.0,
+            depth=0.0,
+            stats={
+                "chain_levels": float(self.chain.depth),
+                "inner_iterations": float(self.inner_iterations),
+                "setup_work": self.setup_work,
+                "setup_depth": self.setup_depth,
+                "batch_width": 0.0,
+            },
+            column_iterations=np.zeros(0, dtype=np.int64),
+            column_residuals=np.zeros(0),
+            column_converged=np.zeros(0, dtype=bool),
+        )
 
 
 def factorize(

@@ -30,6 +30,12 @@ historical iteration counts and residuals exactly.
 forward map as one explicit ``scipy.sparse`` CSR matrix (``n_kept x n``) for
 diagnostics and linear-operator consumers; the hot path prefers the
 per-sub-round sweeps for the bit-compatibility above.
+
+A compiled :class:`TransferOperators` is immutable: :meth:`forward` and
+:meth:`backward` allocate their carry/result arrays per call and only read
+the precomputed index/coefficient arrays, so one compiled instance serves
+any number of concurrent solves (each passing per-call data and charging
+its own :class:`~repro.core.operator.SolveContext`).
 """
 
 from __future__ import annotations

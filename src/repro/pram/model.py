@@ -11,6 +11,14 @@ The numbers reported are operation counts in the same units the paper uses:
 one unit per edge/vertex touched per round, ``log n`` units of depth per
 global synchronization round (the standard CRCW-to-EREW style accounting the
 paper references for parallel ball growing).
+
+Threading contract: a :class:`CostModel` is **single-owner** mutable state —
+charges are plain read-modify-write float updates with no internal locking.
+Code that runs concurrently must charge into a private model (obtained with
+:meth:`CostModel.child`) and merge it into the shared one afterwards
+(:meth:`CostModel.sequential` / :meth:`CostModel.parallel_merge`), with the
+merge serialized by the caller.  This is how the solver's per-call solve
+contexts keep ``SolveReport.work``/``depth`` exact under concurrent solves.
 """
 
 from __future__ import annotations
@@ -72,6 +80,15 @@ class CostModel:
     # ------------------------------------------------------------------ #
     # composition
     # ------------------------------------------------------------------ #
+    def child(self) -> "CostModel":
+        """A fresh zeroed model inheriting only the ``enabled`` flag.
+
+        The building block of the single-owner threading contract (see the
+        module docstring): each concurrent sub-computation charges a child
+        and the owner of the parent merges the children when they finish.
+        """
+        return CostModel(enabled=self.enabled)
+
     def sequential(self, other: "CostModel") -> None:
         """Merge ``other`` as if it ran *after* everything charged so far."""
         if not self.enabled:

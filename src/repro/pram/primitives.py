@@ -70,6 +70,10 @@ def charge_elimination_transfer(
     depth is one unit per rake/compress *round* — the paper's O(log n)
     parallel tree-contraction depth (Lemma 6.5) — because the steps of a
     round are independent but consecutive rounds are sequentially dependent.
+
+    ``cost`` is whatever model owns the calling computation — on the solve
+    hot path that is the per-call solve context's model, never the shared
+    operator model (see the threading contract in :mod:`repro.pram.model`).
     """
     cost.charge(
         work=float(num_eliminated + 1) * max(width, 1),

@@ -167,8 +167,35 @@ class TestBatchedSolve:
             op.solve(np.ones(5))
         with pytest.raises(ValueError):
             op.solve(np.ones((g.n, 2, 2)))
+
+    def test_empty_batch_is_a_trivial_solve(self):
+        """(n, 0) blocks succeed vacuously so RHS slicing needs no special case."""
+        g = generators.grid_2d(6, 6)
+        op = factorize(g, seed=0)
+        report = op.solve(np.zeros((g.n, 0)))
+        assert report.x.shape == (g.n, 0)
+        assert report.converged and report.iterations == 0
+        assert report.work == 0.0 and report.depth == 0.0
+        assert report.column_iterations.shape == (0,)
+        assert report.column_converged.shape == (0,)
+        # validation still runs before the empty early-out
         with pytest.raises(ValueError):
-            op.solve(np.ones((g.n, 0)))
+            op.solve(np.zeros((g.n, 0)), tol=0.0)
+        with pytest.raises(ValueError):
+            op.solve(np.zeros((g.n, 0)), method="nope")
+
+    def test_nonpositive_tol_rejected_per_call(self):
+        """Per-call tol overrides get the same validation as SolverConfig."""
+        g = generators.grid_2d(6, 6)
+        op = factorize(g, seed=0)
+        b = np.ones(g.n)
+        b -= b.mean()
+        with pytest.raises(ValueError, match="tol must be positive"):
+            op.solve(b, tol=0.0)
+        with pytest.raises(ValueError, match="tol must be positive"):
+            op.solve(b, tol=-1e-8)
+        with pytest.raises(ValueError, match="max_iterations"):
+            op.solve(b, max_iterations=0)
 
     def test_zero_rhs_column(self):
         g = generators.grid_2d(8, 8)
