@@ -9,6 +9,11 @@ Public API highlights
   preconditioner chain once, then ``solve(b)`` any number of ``(n,)``
   vectors or batched ``(n, k)`` right-hand-side blocks against it.
 * :func:`repro.solve` — one-call facade with a process-level chain cache.
+* :class:`repro.SolverService` — the micro-batching serving layer
+  (:mod:`repro.serving`): an asyncio front-end that coalesces concurrent
+  single-RHS requests on the same fingerprinted graph into one batched
+  solve under a bounded latency window, backed by the byte-budgeted /
+  TTL'd chain cache.
 * :class:`repro.ChainConfig` / :class:`repro.SolverConfig` — frozen
   configuration objects (chain construction vs. iteration strategy; the
   method registry in :mod:`repro.core.methods` provides ``pcg``,
@@ -57,10 +62,13 @@ from repro.core.operator import factorize, LaplacianOperator, SolveReport
 from repro.core.chain_cache import (
     chain_cache_stats,
     clear_chain_cache,
+    set_chain_cache_budget,
     set_chain_cache_capacity,
+    set_chain_cache_ttl,
 )
 from repro.core.solver import SDDSolver, sdd_solve
 from repro.api import solve
+from repro.serving import ServiceConfig, ServiceStats, SolverService
 from repro.apps.harmonic import harmonic_interpolation, harmonic_labels
 from repro.apps.resistance import ResistanceOracle, effective_resistance_pairs
 from repro.apps.spectral import fiedler_vector, spectral_embedding
@@ -87,6 +95,11 @@ __all__ = [
     "chain_cache_stats",
     "clear_chain_cache",
     "set_chain_cache_capacity",
+    "set_chain_cache_budget",
+    "set_chain_cache_ttl",
+    "SolverService",
+    "ServiceConfig",
+    "ServiceStats",
     "ResistanceOracle",
     "effective_resistance_pairs",
     "harmonic_interpolation",

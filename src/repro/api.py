@@ -27,7 +27,9 @@ from repro.apps.spectral import fiedler_vector, spectral_embedding
 from repro.core.chain_cache import (
     chain_cache_stats,
     clear_chain_cache,
+    set_chain_cache_budget,
     set_chain_cache_capacity,
+    set_chain_cache_ttl,
 )
 from repro.core.config import ChainConfig, SolverConfig
 from repro.core.operator import (
@@ -37,6 +39,7 @@ from repro.core.operator import (
     factorize,
 )
 from repro.pram.model import CostModel
+from repro.serving import ServiceConfig, ServiceStats, SolverService
 from repro.util.rng import RngLike
 
 __all__ = [
@@ -46,9 +49,14 @@ __all__ = [
     "SolveReport",
     "ChainConfig",
     "SolverConfig",
+    "SolverService",
+    "ServiceConfig",
+    "ServiceStats",
     "chain_cache_stats",
     "clear_chain_cache",
     "set_chain_cache_capacity",
+    "set_chain_cache_budget",
+    "set_chain_cache_ttl",
     "ResistanceOracle",
     "effective_resistance_pairs",
     "harmonic_interpolation",

@@ -112,6 +112,55 @@ class SolveReport:
     column_residuals: Optional[np.ndarray] = None
     column_converged: Optional[np.ndarray] = None
 
+    def split(self) -> List["SolveReport"]:
+        """Per-column reports of a batched solve (batch-splittable accounting).
+
+        A batched ``(n, k)`` solve shares every matvec, transfer, and bottom
+        factor application across columns, so its cost does not decompose
+        exactly per column.  The split convention — what the serving layer
+        hands back to each coalesced caller — is:
+
+        * ``x`` / ``iterations`` / ``relative_residual`` / ``converged``
+          come from the column's own slice (``x`` is bit-identical to a solo
+          solve of that column, the PR-4 batched==looped guarantee);
+        * ``work`` is the amortized share ``work / k`` (the shares sum back
+          to the batch's work — the fair per-request charge for a lockstep
+          batch);
+        * ``depth`` is the batch depth unchanged: columns run in lockstep,
+          so every request observes the full critical path.
+
+        Each per-column ``stats`` dict carries ``batch_width`` (the original
+        ``k``) and ``work_amortized = 1.0`` to flag the convention.  A
+        vector report splits into ``[self]``; an empty ``(n, 0)`` batch into
+        ``[]``.
+        """
+        if self.x.ndim != 2:
+            return [self]
+        k = self.x.shape[1]
+        if k == 0:
+            return []
+        assert self.column_iterations is not None
+        assert self.column_residuals is not None
+        assert self.column_converged is not None
+        share = self.work / k
+        reports = []
+        for j in range(k):
+            stats = dict(self.stats)
+            stats["batch_width"] = float(k)
+            stats["work_amortized"] = 1.0
+            reports.append(
+                SolveReport(
+                    x=self.x[:, j].copy(),
+                    iterations=int(self.column_iterations[j]),
+                    relative_residual=float(self.column_residuals[j]),
+                    converged=bool(self.column_converged[j]),
+                    work=share,
+                    depth=self.depth,
+                    stats=stats,
+                )
+            )
+        return reports
+
 
 @dataclass
 class SolveContext:

@@ -1,0 +1,516 @@
+"""Micro-batching solver service: asyncio coalescing over the chain cache.
+
+``BENCH_solver.json``'s key lever is that a batched ``(n, k)`` solve is
+5–7x faster than ``k`` looped solves at ``k = 8`` — and, since PR 4,
+bit-for-bit identical to them.  :class:`SolverService` turns that into
+serving throughput: concurrent single-RHS requests against the same
+registered graph are buffered for a bounded latency window (or until a
+maximum batch width), coalesced into one batched
+:meth:`~repro.core.operator.LaplacianOperator.solve`, and scattered back
+per caller via :meth:`~repro.core.operator.SolveReport.split` — so every
+caller receives exactly the answer (and per-request work/depth accounting)
+a solo solve would have produced.
+
+Operators are *not* pinned by the service: each batch looks its operator up
+in :mod:`repro.core.chain_cache` (byte-budgeted, TTL + LRU) and
+re-factorizes through the cache on a miss, so cache eviction is always
+survivable and hit rates are real.  Inputs that cannot be fingerprinted
+degrade gracefully to uncoalesced solo solves instead of erroring.
+
+Usage — asyncio::
+
+    service = SolverService()
+    fp = service.register(graph, seed=0)
+    async with service:
+        reports = await asyncio.gather(
+            *[service.submit(fp, b, tol=1e-8) for b in rhs_pool]
+        )
+
+Usage — synchronous callers (the service runs its own loop thread)::
+
+    with service:                       # start()/stop()
+        report = service.solve_sync(fp, b, tol=1e-8)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core import chain_cache
+from repro.core.config import ChainConfig, SolverConfig
+from repro.core.methods import get_method
+from repro.core.operator import LaplacianOperator, MatrixInput, SolveReport, factorize
+from repro.graph.graph import Graph
+from repro.serving.batcher import GroupKey, PendingRequest, RequestBatcher, bucket_tol
+from repro.serving.metrics import ServiceMetrics, ServiceStats
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Immutable knobs of the micro-batching front-end.
+
+    Attributes
+    ----------
+    window_seconds:
+        Bounded coalescing latency: the first request of a group waits at
+        most this long before its batch is dispatched.  ``0`` disables
+        coalescing (every request solves solo — the baseline mode).
+    max_batch:
+        Maximum coalesced width; a group dispatches immediately when it
+        fills.  ``BENCH_solver.json`` shows the batched-speedup curve is
+        still climbing at ``k = 8``, so widths of 8–32 are the sweet spot.
+    executor_workers:
+        Threads in the solve executor.  Solves are GIL-bound today
+        (``BENCH_concurrency.json``), so 1 worker loses no throughput; more
+        workers reduce head-of-line blocking between *different* groups.
+    cache_sweep_seconds:
+        Period of the background chain-cache TTL sweep
+        (:func:`repro.core.chain_cache.sweep_expired`); ``None`` disables
+        the sweep task.
+    """
+
+    window_seconds: float = 0.004
+    max_batch: int = 16
+    executor_workers: int = 1
+    cache_sweep_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.window_seconds < 0:
+            raise ValueError(f"window_seconds must be >= 0 (got {self.window_seconds})")
+        if int(self.max_batch) < 1:
+            raise ValueError(f"max_batch must be >= 1 (got {self.max_batch})")
+        if int(self.executor_workers) < 1:
+            raise ValueError(
+                f"executor_workers must be >= 1 (got {self.executor_workers})"
+            )
+        if self.cache_sweep_seconds is not None and not self.cache_sweep_seconds > 0:
+            raise ValueError(
+                f"cache_sweep_seconds must be positive or None (got {self.cache_sweep_seconds})"
+            )
+
+
+@dataclass
+class _Registration:
+    """Everything needed to (re-)factorize one registered matrix."""
+
+    matrix: MatrixInput
+    n: int
+    chain_config: ChainConfig
+    solver_config: SolverConfig
+    seed: object
+    cache_key: Optional[Tuple]
+    pinned: Optional[LaplacianOperator] = None
+
+
+class SolverService:
+    """Coalesce concurrent single-RHS solve requests into batched solves.
+
+    Construction is cheap and synchronous; the asyncio front-end activates
+    with :meth:`astart`/:meth:`aclose` (``async with service``) on the
+    caller's loop, or :meth:`start`/:meth:`stop` (``with service``) which
+    spin a private loop thread so plain synchronous callers — including
+    many threads at once — can use :meth:`solve_sync` and still coalesce
+    with each other.
+
+    ``chain``/``solver``/``seed`` are the defaults applied when
+    :meth:`register` (or auto-registration through :meth:`submit`) is not
+    given explicit configuration.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        chain: Optional[ChainConfig] = None,
+        solver: Optional[SolverConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self._chain = chain if chain is not None else ChainConfig()
+        self._solver = solver if solver is not None else SolverConfig()
+        self._seed = seed
+        self._registry: Dict[str, _Registration] = {}
+        self._registry_lock = threading.Lock()
+        self._metrics = ServiceMetrics()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._batcher: Optional[RequestBatcher] = None
+        self._inflight: set = set()
+        self._sweep_task: Optional[asyncio.Task] = None
+        self._thread: Optional[threading.Thread] = None
+        self._thread_loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        matrix: MatrixInput,
+        *,
+        chain: Optional[ChainConfig] = None,
+        solver: Optional[SolverConfig] = None,
+        seed: object = None,
+        warm: bool = True,
+    ) -> str:
+        """Register ``matrix`` for coalesced serving; returns its fingerprint.
+
+        ``warm=True`` factorizes immediately (through the chain cache) so
+        the first request pays no setup; ``warm=False`` defers
+        factorization to the first dispatched batch.  Matrices whose
+        :func:`~repro.core.chain_cache.fingerprint_matrix` is ``None``
+        cannot be registered — submit them directly and they solve
+        uncoalesced.  Non-integer seeds are not chain-cacheable; such
+        registrations factorize once and pin the operator in the registry
+        instead.
+        """
+        chain_cfg = chain if chain is not None else self._chain
+        solver_cfg = solver if solver is not None else self._solver
+        seed = self._seed if seed is None else seed
+        fp = chain_cache.fingerprint_matrix(matrix)
+        if fp is None:
+            raise ValueError(
+                "matrix cannot be fingerprinted; submit() it directly for an "
+                "uncoalesced solve"
+            )
+        n = matrix.n if isinstance(matrix, Graph) else int(matrix.shape[0])
+        key = chain_cache.make_key(matrix, chain_cfg, solver_cfg, seed)
+        reg = _Registration(
+            matrix=matrix,
+            n=n,
+            chain_config=chain_cfg,
+            solver_config=solver_cfg,
+            seed=seed,
+            cache_key=key,
+        )
+        if key is None:
+            reg.pinned = factorize(matrix, chain_cfg, solver_cfg, seed=seed, cache=False)
+        elif warm:
+            factorize(matrix, chain_cfg, solver_cfg, seed=seed, cache=True)
+        with self._registry_lock:
+            self._registry[fp] = reg
+        return fp
+
+    def unregister(self, fingerprint: str) -> bool:
+        """Drop a registration and evict its chain-cache entry (targeted)."""
+        with self._registry_lock:
+            reg = self._registry.pop(fingerprint, None)
+        if reg is None:
+            return False
+        if reg.cache_key is not None:
+            chain_cache.evict(reg.cache_key)
+        return True
+
+    def registered(self) -> Tuple[str, ...]:
+        """Fingerprints currently registered."""
+        with self._registry_lock:
+            return tuple(self._registry)
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of the service counters (see :class:`ServiceStats`)."""
+        return self._metrics.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def started(self) -> bool:
+        return self._loop is not None
+
+    async def astart(self) -> "SolverService":
+        """Activate the front-end on the *current* event loop."""
+        if self._loop is not None:
+            raise RuntimeError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="repro-serving",
+        )
+        self._batcher = RequestBatcher(
+            window_seconds=self.config.window_seconds,
+            max_batch=self.config.max_batch,
+            flush=self._dispatch_group,
+        )
+        if self.config.cache_sweep_seconds is not None:
+            self._sweep_task = self._loop.create_task(self._sweep_loop())
+        return self
+
+    async def aclose(self) -> None:
+        """Drain pending batches, stop the sweep, release the executor."""
+        if self._loop is None:
+            return
+        assert self._batcher is not None and self._executor is not None
+        self._batcher.flush_all()
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        if self._sweep_task is not None:
+            self._sweep_task.cancel()
+            try:
+                await self._sweep_task
+            except asyncio.CancelledError:
+                pass
+            self._sweep_task = None
+        self._executor.shutdown(wait=True)
+        self._loop = None
+        self._executor = None
+        self._batcher = None
+
+    async def __aenter__(self) -> "SolverService":
+        return await self.astart()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    def start(self) -> "SolverService":
+        """Run the front-end on a private loop thread (for sync callers)."""
+        if self._loop is not None or self._thread is not None:
+            raise RuntimeError("service already started")
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(self.astart())
+            ready.set()
+            loop.run_forever()
+
+        self._thread_loop = loop
+        self._thread = threading.Thread(target=run, name="repro-serving-loop", daemon=True)
+        self._thread.start()
+        ready.wait()
+        return self
+
+    def stop(self, timeout: Optional[float] = 30.0) -> None:
+        """Drain and shut down the private loop thread started by :meth:`start`."""
+        if self._thread is None or self._thread_loop is None:
+            return
+        loop = self._thread_loop
+        asyncio.run_coroutine_threadsafe(self.aclose(), loop).result(timeout)
+        loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout)
+        loop.close()
+        self._thread = None
+        self._thread_loop = None
+
+    def __enter__(self) -> "SolverService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # request front-end
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self,
+        matrix_or_fingerprint: Union[str, MatrixInput],
+        b: np.ndarray,
+        *,
+        tol: Optional[float] = None,
+        method: Optional[str] = None,
+    ) -> SolveReport:
+        """Enqueue one single-RHS solve; resolves when its batch completes.
+
+        ``matrix_or_fingerprint`` is either a fingerprint returned by
+        :meth:`register` or a matrix/graph (auto-registered on first
+        sight).  ``tol`` is quantized down to its decade bucket (see
+        :func:`repro.serving.batcher.bucket_tol`); the request's answer is
+        bit-identical to a solo ``operator.solve(b, tol=bucket,
+        method=method)``.  Unfingerprintable matrices fall back to an
+        uncoalesced solo solve.  Cancelling the returned awaitable (or
+        timing it out via ``asyncio.wait_for``) abandons only this request;
+        the rest of its batch is unaffected.
+        """
+        if self._loop is None or self._batcher is None:
+            raise RuntimeError("service not started (use 'async with service' or start())")
+        loop = asyncio.get_running_loop()
+        if loop is not self._loop:
+            raise RuntimeError("submit() must run on the loop the service started on")
+
+        if isinstance(matrix_or_fingerprint, str):
+            fingerprint = matrix_or_fingerprint
+            reg = self._lookup_registration(fingerprint)
+            if reg is None:
+                raise KeyError(f"unknown fingerprint {fingerprint!r}; register() it first")
+        else:
+            matrix = matrix_or_fingerprint
+            fingerprint = chain_cache.fingerprint_matrix(matrix)
+            if fingerprint is None:
+                return await self._submit_uncoalesced(matrix, b, tol=tol, method=method)
+            reg = self._lookup_registration(fingerprint)
+            if reg is None:
+                self.register(matrix, warm=False)
+                reg = self._lookup_registration(fingerprint)
+
+        b = np.asarray(b, dtype=float)
+        if b.ndim != 1:
+            raise ValueError("submit() takes a single right-hand side of shape (n,)")
+        if b.shape[0] != reg.n:
+            raise ValueError(f"b must have length {reg.n} (got {b.shape[0]})")
+        eff_tol = bucket_tol(reg.solver_config.tol if tol is None else float(tol))
+        eff_method = reg.solver_config.method if method is None else method
+        get_method(eff_method)  # fail fast on unknown methods
+
+        self._metrics.record_request()
+        key = GroupKey(fingerprint=fingerprint, method=eff_method, tol=eff_tol)
+        request = PendingRequest(
+            b=b.copy(), future=loop.create_future(), enqueued_at=time.monotonic()
+        )
+        self._batcher.add(key, request)
+        return await request.future
+
+    def solve_sync(
+        self,
+        matrix_or_fingerprint: Union[str, MatrixInput],
+        b: np.ndarray,
+        *,
+        tol: Optional[float] = None,
+        method: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> SolveReport:
+        """Blocking :meth:`submit` for callers outside the event loop.
+
+        Requires the private loop thread (:meth:`start`).  Concurrent
+        ``solve_sync`` calls from different threads coalesce with each
+        other exactly like asyncio submissions.
+        """
+        if self._thread_loop is None:
+            raise RuntimeError("solve_sync() needs the loop thread; call start() first")
+        future = asyncio.run_coroutine_threadsafe(
+            self.submit(matrix_or_fingerprint, b, tol=tol, method=method),
+            self._thread_loop,
+        )
+        return future.result(timeout)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _lookup_registration(self, fingerprint: str) -> Optional[_Registration]:
+        with self._registry_lock:
+            return self._registry.get(fingerprint)
+
+    def _operator_for(self, reg: _Registration) -> Tuple[LaplacianOperator, bool]:
+        """The registration's operator, via the chain cache (hit flag second).
+
+        Runs on executor threads.  A cache miss (cold start or eviction)
+        re-factorizes *through* the cache so the next batch hits again.
+        """
+        if reg.cache_key is None:
+            assert reg.pinned is not None
+            return reg.pinned, True
+        operator = chain_cache.lookup(reg.cache_key)
+        if operator is not None:
+            return operator, True
+        operator = factorize(
+            reg.matrix, reg.chain_config, reg.solver_config, seed=reg.seed, cache=True
+        )
+        return operator, False
+
+    def _dispatch_group(self, key: GroupKey, requests: List[PendingRequest]) -> None:
+        """Batcher flush callback (event loop): launch the batch solve task."""
+        live = []
+        for request in requests:
+            if request.future.done():  # cancelled while pending
+                self._metrics.record_cancelled()
+            else:
+                live.append(request)
+        if not live:
+            return
+        assert self._loop is not None
+        task = self._loop.create_task(self._run_batch(key, live))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    def _solve_batch(
+        self, key: GroupKey, live: List[PendingRequest]
+    ) -> Tuple[SolveReport, bool, float]:
+        """Executor-thread body: one batched solve over the group's columns."""
+        reg = self._lookup_registration(key.fingerprint)
+        if reg is None:
+            raise KeyError(f"fingerprint {key.fingerprint!r} unregistered mid-flight")
+        operator, cache_hit = self._operator_for(reg)
+        block = np.stack([request.b for request in live], axis=1)
+        t0 = time.perf_counter()
+        report = operator.solve(block, tol=key.tol, method=key.method)
+        return report, cache_hit, time.perf_counter() - t0
+
+    async def _run_batch(self, key: GroupKey, live: List[PendingRequest]) -> None:
+        assert self._loop is not None and self._executor is not None
+        try:
+            report, cache_hit, solve_seconds = await self._loop.run_in_executor(
+                self._executor, self._solve_batch, key, live
+            )
+        except Exception as exc:
+            failed = 0
+            for request in live:
+                if request.future.done():
+                    self._metrics.record_cancelled()
+                else:
+                    request.future.set_exception(exc)
+                    failed += 1
+            self._metrics.record_failed(failed)
+            return
+        width = len(live)
+        self._metrics.record_batch(width, cache_hit=cache_hit, solve_seconds=solve_seconds)
+        now = time.monotonic()
+        for request, column in zip(live, report.split()):
+            if request.future.done():  # cancelled in flight; batch unaffected
+                self._metrics.record_cancelled()
+                continue
+            column.stats["serving_batch_width"] = float(width)
+            column.stats["serving_coalesced"] = 1.0 if width >= 2 else 0.0
+            column.stats["serving_cache_hit"] = 1.0 if cache_hit else 0.0
+            column.stats["serving_latency_seconds"] = now - request.enqueued_at
+            request.future.set_result(column)
+            self._metrics.record_served(now - request.enqueued_at)
+
+    async def _submit_uncoalesced(
+        self,
+        matrix: MatrixInput,
+        b: np.ndarray,
+        *,
+        tol: Optional[float],
+        method: Optional[str],
+    ) -> SolveReport:
+        """Bypass path for unfingerprintable inputs: solo, uncached solve."""
+        assert self._loop is not None and self._executor is not None
+        b = np.asarray(b, dtype=float)
+        if b.ndim != 1:
+            raise ValueError("submit() takes a single right-hand side of shape (n,)")
+        eff_tol = bucket_tol(self._solver.tol if tol is None else float(tol))
+        eff_method = self._solver.method if method is None else method
+        get_method(eff_method)
+        self._metrics.record_request()
+        self._metrics.record_uncoalesced()
+        enqueued = time.monotonic()
+
+        def solo() -> SolveReport:
+            operator = factorize(
+                matrix, self._chain, self._solver, seed=self._seed, cache=False
+            )
+            return operator.solve(b, tol=eff_tol, method=eff_method)
+
+        try:
+            report = await self._loop.run_in_executor(self._executor, solo)
+        except Exception:
+            self._metrics.record_failed()
+            raise
+        now = time.monotonic()
+        report.stats["serving_batch_width"] = 1.0
+        report.stats["serving_coalesced"] = 0.0
+        report.stats["serving_cache_hit"] = 0.0
+        report.stats["serving_latency_seconds"] = now - enqueued
+        self._metrics.record_served(now - enqueued)
+        return report
+
+    async def _sweep_loop(self) -> None:
+        assert self.config.cache_sweep_seconds is not None
+        while True:
+            await asyncio.sleep(self.config.cache_sweep_seconds)
+            chain_cache.sweep_expired()
