@@ -68,6 +68,11 @@ from repro.core.chain_cache import (
 )
 from repro.core.solver import SDDSolver, sdd_solve
 from repro.api import solve
+from repro.kernels import (
+    KernelBackendError,
+    available_backends as available_kernel_backends,
+    numba_available,
+)
 from repro.serving import ServiceConfig, ServiceStats, SolverService
 from repro.apps.harmonic import harmonic_interpolation, harmonic_labels
 from repro.apps.resistance import ResistanceOracle, effective_resistance_pairs
@@ -92,6 +97,9 @@ __all__ = [
     "ChainConfig",
     "SolverConfig",
     "SolveReport",
+    "KernelBackendError",
+    "available_kernel_backends",
+    "numba_available",
     "chain_cache_stats",
     "clear_chain_cache",
     "set_chain_cache_capacity",

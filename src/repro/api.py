@@ -38,6 +38,11 @@ from repro.core.operator import (
     SolveReport,
     factorize,
 )
+from repro.kernels import (
+    KernelBackendError,
+    available_backends as available_kernel_backends,
+    numba_available,
+)
 from repro.pram.model import CostModel
 from repro.serving import ServiceConfig, ServiceStats, SolverService
 from repro.util.rng import RngLike
@@ -49,6 +54,9 @@ __all__ = [
     "SolveReport",
     "ChainConfig",
     "SolverConfig",
+    "KernelBackendError",
+    "available_kernel_backends",
+    "numba_available",
     "SolverService",
     "ServiceConfig",
     "ServiceStats",

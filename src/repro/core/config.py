@@ -24,6 +24,7 @@ from dataclasses import dataclass, fields
 from typing import Optional, Tuple
 
 from repro.core.methods import available_methods
+from repro.kernels import BACKEND_NAMES as KERNEL_BACKEND_NAMES
 
 
 @dataclass(frozen=True)
@@ -102,18 +103,32 @@ class SolverConfig:
         (overridable per call).
     max_iterations:
         Default cap on outer iterations (overridable per call).
+    kernel_backend:
+        Implementation of the solve-path inner loops
+        (:mod:`repro.kernels`): ``"numpy"`` (reference sweeps),
+        ``"numba"`` (GIL-releasing compiled kernels; raises at factorize
+        time when numba is missing), or ``"auto"`` (numba when available,
+        else numpy).  The ``REPRO_KERNEL_BACKEND`` environment variable, if
+        set, overrides this at factorize time.  Backends are bit-for-bit
+        interchangeable — solves return identical results either way.
     """
 
     method: str = "pcg"
     inner_iterations: Optional[int] = None
     tol: float = 1e-8
     max_iterations: int = 200
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         known = available_methods()
         if self.method not in known:
             raise ValueError(
                 f"unknown method {self.method!r}; registered methods: {', '.join(known)}"
+            )
+        if self.kernel_backend not in KERNEL_BACKEND_NAMES:
+            raise ValueError(
+                f"unknown kernel_backend {self.kernel_backend!r}; "
+                f"expected one of {KERNEL_BACKEND_NAMES}"
             )
         if self.inner_iterations is not None and int(self.inner_iterations) < 1:
             raise ValueError(
@@ -135,8 +150,13 @@ class SolverConfig:
 
         Only the fields that shape the factorized operator's state
         (``method`` drives Chebyshev calibration, ``inner_iterations`` the
-        per-level budget) participate; ``tol`` and ``max_iterations`` are
-        per-call defaults that any solve can override, so differing values
-        share one cached factorization.
+        per-level budget, ``kernel_backend`` the kernel set the operator
+        binds) participate; ``tol`` and ``max_iterations`` are per-call
+        defaults that any solve can override, so differing values share one
+        cached factorization.  Note the cache keys the *configured* backend
+        name: flipping ``REPRO_KERNEL_BACKEND`` between factorize calls in
+        one process can serve a cached operator resolved under the previous
+        value (results are bit-identical either way; only which code runs
+        the sweeps differs).
         """
-        return (self.method, self.inner_iterations)
+        return (self.method, self.inner_iterations, self.kernel_backend)

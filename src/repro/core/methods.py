@@ -98,12 +98,13 @@ def available_methods() -> Tuple[str, ...]:
 def _run_pcg(operator, ctx, rhs: np.ndarray, tol: float, max_iterations: int) -> BatchedCGResult:
     """Outer CG preconditioned by the chain (inner CG smoothing)."""
     return batched_conjugate_gradient(
-        operator.laplacian,
+        operator.top_matvec(),
         rhs,
         tol=tol,
         max_iterations=max_iterations,
         preconditioner=operator.chain_preconditioner("pcg", ctx),
         on_iteration=lambda cols: operator.charge_outer_iteration(ctx, cols),
+        kernels=operator.kernels,
     )
 
 
@@ -112,12 +113,13 @@ def _run_chebyshev(operator, ctx, rhs: np.ndarray, tol: float, max_iterations: i
     """Outer CG preconditioned by the chain (inner Chebyshev, Lemma 6.7)."""
     operator.ensure_chebyshev_bounds()
     return batched_conjugate_gradient(
-        operator.laplacian,
+        operator.top_matvec(),
         rhs,
         tol=tol,
         max_iterations=max_iterations,
         preconditioner=operator.chain_preconditioner("chebyshev", ctx),
         on_iteration=lambda cols: operator.charge_outer_iteration(ctx, cols),
+        kernels=operator.kernels,
     )
 
 
@@ -125,12 +127,13 @@ def _run_chebyshev(operator, ctx, rhs: np.ndarray, tol: float, max_iterations: i
 def _run_jacobi(operator, ctx, rhs: np.ndarray, tol: float, max_iterations: int) -> BatchedCGResult:
     """Diagonal-preconditioned CG baseline (no chain)."""
     return batched_conjugate_gradient(
-        operator.laplacian,
+        operator.top_matvec(),
         rhs,
         tol=tol,
         max_iterations=max_iterations,
         preconditioner=operator.jacobi_preconditioner(),
         on_iteration=lambda cols: operator.charge_outer_iteration(ctx, cols),
+        kernels=operator.kernels,
     )
 
 

@@ -58,9 +58,9 @@ from repro.graph.laplacian import (
     laplacian_to_graph,
     sdd_to_laplacian,
 )
+from repro.kernels import CsrOperand, KernelSet, default_kernels, get_kernels
 from repro.linalg.cg import batched_conjugate_gradient
 from repro.linalg.direct import laplacian_pseudoinverse
-from repro.linalg.norms import column_means
 from repro.linalg.jacobi import jacobi_preconditioner
 from repro.pram.model import CostModel, log2ceil
 from repro.pram.primitives import charge_elimination_transfer
@@ -193,12 +193,13 @@ class _ComponentProjector:
     of an unbuffered scatter-add.
     """
 
-    __slots__ = ("labels", "counts", "_single", "_accumulator")
+    __slots__ = ("labels", "counts", "_single", "_accumulator", "_kernels")
 
-    def __init__(self, labels: np.ndarray) -> None:
+    def __init__(self, labels: np.ndarray, kernels: Optional[KernelSet] = None) -> None:
         self.labels = np.asarray(labels, dtype=np.int64)
         self.counts = np.bincount(self.labels).astype(float)
         self._single = self.counts.shape[0] <= 1
+        self._kernels = kernels if kernels is not None else default_kernels()
         if self._single:
             self._accumulator = None
         else:
@@ -216,11 +217,15 @@ class _ComponentProjector:
             # bit-for-bit contract (see repro.linalg.norms).
             if v.ndim == 1:
                 return v - v.mean()
-            return v - column_means(v)
+            return self._kernels.subtract_column_means(v)
+        # Per-component sums keep the sparse accumulator (tiny output, off
+        # the elementwise hot path); the full-length subtract dispatches.
         sums = self._accumulator @ v
         if v.ndim == 1:
-            return v - (sums / self.counts)[self.labels]
-        return v - (sums / self.counts[:, None])[self.labels]
+            return self._kernels.subtract_gathered(v, sums / self.counts, self.labels)
+        return self._kernels.subtract_gathered(
+            v, sums / self.counts[:, None], self.labels
+        )
 
 
 class LaplacianOperator:
@@ -259,15 +264,28 @@ class LaplacianOperator:
         self.laplacian = graph_to_laplacian(graph)
         self.inner_iterations = solver_config.resolve_inner_iterations(chain_config.kappa)
 
+        # Kernel backend, resolved exactly once per operator (env override
+        # and availability checks happen here, not per solve) — an explicit
+        # "numba" without numba installed fails factorize() with a
+        # KernelBackendError.  Every hot sweep below dispatches through this
+        # set; backends are bit-for-bit interchangeable.
+        self.kernels: KernelSet = get_kernels(solver_config.kernel_backend)
+        self._top_operand = CsrOperand(self.laplacian)
+        self._level_operands: List[CsrOperand] = [
+            CsrOperand(level.laplacian) for level in chain.levels
+        ]
+
         # Null-space projectors, hoisted into construction-time state: one
         # for the (possibly Gremban-expanded) top-level graph and one per
         # chain level.
         _, labels = connected_components(graph)
-        self._projector = _ComponentProjector(labels)
+        self._projector = _ComponentProjector(labels, kernels=self.kernels)
         self._level_projectors: List[_ComponentProjector] = []
         for level in chain.levels:
             _, lvl_labels = connected_components(level.graph)
-            self._level_projectors.append(_ComponentProjector(lvl_labels))
+            self._level_projectors.append(
+                _ComponentProjector(lvl_labels, kernels=self.kernels)
+            )
 
         # One-time lazy state, shared by every solve once initialized:
         # Chebyshev bounds (Lemma 6.7) — calibrated eagerly when the
@@ -308,6 +326,17 @@ class LaplacianOperator:
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Apply the *original* matrix to ``x`` (vector or ``(n, k)`` block)."""
         return self.original_matrix() @ np.asarray(x, dtype=float)
+
+    def top_matvec(self) -> Callable[[np.ndarray], np.ndarray]:
+        """Matvec with the (reduced) top-level Laplacian on the solve kernels.
+
+        This is what the outer iteration of every registered method applies
+        each step; dispatching it through the kernel set lets compiled
+        backends run it GIL-free.  Bit-identical to ``self.laplacian @ v``.
+        """
+        kset = self.kernels
+        operand = self._top_operand
+        return lambda v: kset.csr_matvec(operand, v)
 
     def original_matrix(self) -> sp.spmatrix:
         """The matrix this operator solves against (pre-reduction)."""
@@ -369,7 +398,7 @@ class LaplacianOperator:
         if self._jacobi_apply is None:
             with self._setup_lock:
                 if self._jacobi_apply is None:
-                    apply = jacobi_preconditioner(self.laplacian)
+                    apply = jacobi_preconditioner(self.laplacian, kernels=self.kernels)
                     self._charge_setup(float(self.graph.n), 1.0)
                     self._jacobi_apply = apply
         return self._jacobi_apply
@@ -424,7 +453,7 @@ class LaplacianOperator:
             work=float(max(solver.factor_nnz, solver.n)) * width,
             depth=math.log2(max(solver.n, 2)),
         )
-        return solver.solve(b)
+        return solver.solve(b, kernels=self.kernels)
 
     def _apply_preconditioner(
         self, level_index: int, r: np.ndarray, inner: str, ctx: SolveContext
@@ -441,9 +470,9 @@ class LaplacianOperator:
         transfers = level.transfers if level.transfers is not None else elim.transfer
         width = r.shape[1]
         charge_elimination_transfer(ctx.cost, elim.num_eliminated, elim.rounds, width)
-        r_reduced, carry = transfers.forward(r)
+        r_reduced, carry = transfers.forward(r, kernels=self.kernels)
         x_reduced = self._solve_level(level_index + 1, r_reduced, inner, ctx)
-        x = transfers.backward(carry, x_reduced)
+        x = transfers.backward(carry, x_reduced, kernels=self.kernels)
         charge_elimination_transfer(ctx.cost, elim.num_eliminated, elim.rounds, width)
         return x
 
@@ -455,6 +484,9 @@ class LaplacianOperator:
             return self._solve_bottom(b, ctx)
         level = self.chain.levels[level_index]
         lap = level.laplacian
+        kset = self.kernels
+        operand = self._level_operands[level_index]
+        apply_a = lambda v: kset.csr_matvec(operand, v)
         project = self._level_projectors[level_index]
         b = project(b)
         preconditioner = lambda r: self._apply_preconditioner(level_index, r, inner, ctx)
@@ -467,19 +499,21 @@ class LaplacianOperator:
         if inner == "chebyshev" and self._chebyshev_bounds[level_index] is not None:
             lo, hi = self._chebyshev_bounds[level_index]
             return chebyshev_apply(
-                lambda v: lap @ v,
+                apply_a,
                 preconditioner,
                 b,
                 lambda_min=lo,
                 lambda_max=hi,
                 iterations=iters,
                 project=project,
+                kernels=kset,
             )
         result = batched_conjugate_gradient(
-            lap,
+            apply_a,
             b,
             preconditioner=preconditioner,
             fixed_iterations=iters,
+            kernels=kset,
         )
         x = result.x[:, 0] if b.ndim == 1 else result.x
         return project(x)

@@ -41,12 +41,13 @@ its own :class:`~repro.core.operator.SolveContext`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.core.elimination import EliminationResult, EliminationSchedule
+from repro.kernels import KernelSet, default_kernels
 
 
 @dataclass(frozen=True)
@@ -142,91 +143,91 @@ class TransferOperators:
     # ------------------------------------------------------------------ #
     # application
     # ------------------------------------------------------------------ #
-    def forward(self, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def forward(
+        self, b: np.ndarray, kernels: Optional[KernelSet] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Propagate right-hand side(s) down; return ``(b_reduced, carry)``.
 
         ``carry`` is the fully-forwarded full-length array: at every
         eliminated vertex it holds the forwarded value at elimination time,
         which is precisely what :meth:`backward` substitutes with.  Accepts
         ``(n,)`` or ``(n, k)``.
+
+        The sub-round sweeps run on ``kernels`` (:mod:`repro.kernels`;
+        reference NumPy when omitted).  Every backend replays the adds into
+        any single slot in ``np.add.at`` step order — the reference through
+        the duplicate-free layer decomposition, compiled backends as one
+        sequential GIL-free loop — so the result is bit-identical across
+        backends, batch widths, and the historical per-step replay.
         """
+        k = kernels if kernels is not None else default_kernels()
         batched = np.ndim(b) == 2
-        # Batched blocks stay column-contiguous (Fortran order) and scatter
-        # through the duplicate-free layer decomposition: one fancy-index
-        # add per layer covers every column at once, and replays the adds
-        # into any single slot in ``np.add.at`` step order — bit-identical
-        # to a per-column (or per-vector) sequential transfer, at a fraction
-        # of the cost for wide blocks.
+        # Batched blocks stay column-contiguous (Fortran order): the layered
+        # reference scatters one fancy-index add per layer over every column
+        # at once, and the compiled sweep walks each contiguous column.
         carry = np.array(b, dtype=float, copy=True, order="F" if batched else "C")
-        if batched:
-            for sub in self._subrounds:
-                if isinstance(sub, _Rake):
-                    for u_layer, v_layer in sub.layers:
-                        carry[u_layer] += carry[v_layer]
-                else:
-                    for t_layer, s_layer, c_layer in sub.layers:
-                        carry[t_layer] += c_layer[:, None] * carry[s_layer]
-        else:
-            for sub in self._subrounds:
-                if isinstance(sub, _Rake):
-                    np.add.at(carry, sub.u, carry[sub.v])
-                else:
-                    np.add.at(
-                        carry, sub.fwd_targets, sub.fwd_coeffs * carry[sub.fwd_sources]
-                    )
+        for sub in self._subrounds:
+            if isinstance(sub, _Rake):
+                k.forward_rake(carry, sub.u, sub.v, sub.layers)
+            else:
+                k.forward_compress(
+                    carry, sub.fwd_targets, sub.fwd_sources, sub.fwd_coeffs, sub.layers
+                )
         return carry[self.kept_vertices], carry
 
-    def backward(self, carry: np.ndarray, x_reduced: np.ndarray) -> np.ndarray:
+    def backward(
+        self,
+        carry: np.ndarray,
+        x_reduced: np.ndarray,
+        kernels: Optional[KernelSet] = None,
+    ) -> np.ndarray:
         """Back-substitute eliminated vertices from a :meth:`forward` carry.
 
         Back-substitution targets (the eliminated vertices of a sub-round)
         are unique, so batched blocks vectorize straight across columns:
         every element sees the identical scalar expression a per-vector
-        sweep evaluates, keeping the result bit-identical column by column.
+        sweep evaluates — on any kernel backend — keeping the result
+        bit-identical column by column.
         """
+        k = kernels if kernels is not None else default_kernels()
         x = np.zeros_like(carry)
         x[self.kept_vertices] = np.asarray(x_reduced, dtype=float)
-        batched = x.ndim == 2
-        if batched:
-            for sub in reversed(self._subrounds):
-                if isinstance(sub, _Rake):
-                    x[sub.v] = x[sub.u] + carry[sub.v] / sub.w[:, None]
-                else:
-                    x[sub.v] = (
-                        sub.w1[:, None] * x[sub.u1]
-                        + sub.w2[:, None] * x[sub.u2]
-                        + carry[sub.v]
-                    ) / sub.total[:, None]
-        else:
-            for sub in reversed(self._subrounds):
-                if isinstance(sub, _Rake):
-                    x[sub.v] = x[sub.u] + carry[sub.v] / sub.w
-                else:
-                    x[sub.v] = (
-                        sub.w1 * x[sub.u1] + sub.w2 * x[sub.u2] + carry[sub.v]
-                    ) / sub.total
+        for sub in reversed(self._subrounds):
+            if isinstance(sub, _Rake):
+                k.backward_rake(x, carry, sub.v, sub.u, sub.w)
+            else:
+                k.backward_compress(
+                    x, carry, sub.v, sub.u1, sub.u2, sub.w1, sub.w2, sub.total
+                )
         # Hand back a C-ordered block: downstream reductions (CG dot
         # products, projections) pairwise-sum by memory layout, and bitwise
         # reproducibility of historical solves requires the layout the
         # interpreted transfer produced.
-        return np.ascontiguousarray(x) if batched else x
+        return np.ascontiguousarray(x) if x.ndim == 2 else x
 
     # ------------------------------------------------------------------ #
     # legacy-shaped entry points
     # ------------------------------------------------------------------ #
-    def forward_rhs(self, b: np.ndarray) -> np.ndarray:
+    def forward_rhs(
+        self, b: np.ndarray, kernels: Optional[KernelSet] = None
+    ) -> np.ndarray:
         """Reduced right-hand side(s) only (carry discarded)."""
-        return self.forward(b)[0]
+        return self.forward(b, kernels=kernels)[0]
 
-    def backward_solution(self, b: np.ndarray, x_reduced: np.ndarray) -> np.ndarray:
+    def backward_solution(
+        self,
+        b: np.ndarray,
+        x_reduced: np.ndarray,
+        kernels: Optional[KernelSet] = None,
+    ) -> np.ndarray:
         """Extend reduced solution(s) given the *original* right-hand side.
 
         Re-runs the forward sweep to rebuild the carry; prefer the
         :meth:`forward` / :meth:`backward` pair when both directions are
         needed (the solver hot path does).
         """
-        _, carry = self.forward(b)
-        return self.backward(carry, x_reduced)
+        _, carry = self.forward(b, kernels=kernels)
+        return self.backward(carry, x_reduced, kernels=kernels)
 
     # ------------------------------------------------------------------ #
     # explicit sparse form

@@ -1,0 +1,238 @@
+"""Runtime-dispatched compiled kernels for the solve hot path.
+
+Every hot sweep of a solve — the elimination-transfer scatter/gathers
+(:mod:`repro.core.transfer`), the batched CG recurrences
+(:mod:`repro.linalg.cg`), the Chebyshev/Jacobi smoothing updates, the CSR
+matvecs at each chain level, and the null-space projections — is a small
+dense loop that NumPy executes while *holding the GIL*.  One thread solving
+on a shared :class:`~repro.core.operator.LaplacianOperator` is fine;
+``BENCH_concurrency.json`` showed eight threads are *slower* than one,
+because the sweeps are many tiny GIL-bound calls.
+
+This package puts those inner loops behind a narrow, bit-stable interface —
+:class:`KernelSet` — with two interchangeable implementations:
+
+* :mod:`repro.kernels.reference` — the pure-NumPy sweeps the solver has
+  always run (today's code, refactored behind the interface).  Always
+  available; the fallback and the bit-exactness oracle.
+* :mod:`repro.kernels.numba_backend` — the same loops as ``numba``
+  ``@njit(nogil=True, cache=True)`` kernels.  Because they release the GIL
+  for the duration of each sweep, threads hammering one shared operator can
+  actually overlap on multi-core hardware.  When numba is not installed the
+  module still imports (the kernel *source* runs as plain Python, which is
+  how the test suite pins its bit-identity without numba), but the backend
+  is not selectable.
+
+**The bit-for-bit contract.**  For identical inputs, every kernel of every
+backend returns results bitwise equal to the reference: scatter-adds
+replay ``np.add.at``'s per-slot accumulation order, column reductions
+reproduce NumPy's pairwise summation tree exactly (see
+:mod:`repro.linalg.norms`), CSR matvecs accumulate in SciPy's stored-entry
+order, and elementwise updates evaluate the reference expression per
+element.  Solves therefore produce identical iteration counts, residuals,
+and solutions on every backend — the property ``tests/test_kernels.py``
+pins over the fuzz corpus — and PRAM work/depth accounting is untouched
+(kernels never charge; the call sites do, identically).
+
+Backend selection
+-----------------
+:func:`get_kernels` resolves a backend name:
+
+* ``"numpy"`` — the reference sweeps;
+* ``"numba"`` — the compiled sweeps (raises :class:`KernelBackendError`
+  with an actionable message when numba is missing);
+* ``"auto"`` (default) — ``"numba"`` when importable, else ``"numpy"``.
+
+The environment variable ``REPRO_KERNEL_BACKEND`` overrides the requested
+name (useful for CI lanes and for flipping a deployed service without code
+changes).  Selection normally happens once per operator, at
+:func:`~repro.core.operator.factorize` time, from
+``SolverConfig.kernel_backend``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "KernelSet",
+    "CsrOperand",
+    "KernelBackendError",
+    "available_backends",
+    "numba_available",
+    "numba_version",
+    "resolve_backend",
+    "get_kernels",
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+]
+
+#: Environment variable overriding the configured backend name.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Names accepted by ``SolverConfig.kernel_backend`` / :func:`resolve_backend`.
+BACKEND_NAMES = ("auto", "numpy", "numba")
+
+
+class KernelBackendError(RuntimeError):
+    """An unknown or unavailable kernel backend was requested."""
+
+
+class CsrOperand:
+    """A CSR matrix prepared for kernel-level matvecs.
+
+    Holds both the :mod:`scipy.sparse` matrix (the reference backend applies
+    it with ``@``) and its raw ``indptr``/``indices``/``data`` arrays (what
+    compiled kernels iterate).  Built once per chain level at factorize
+    time; immutable thereafter.
+    """
+
+    __slots__ = ("matrix", "indptr", "indices", "data", "shape")
+
+    def __init__(self, matrix: sp.spmatrix) -> None:
+        csr = sp.csr_matrix(matrix)
+        if csr.dtype != np.float64:
+            csr = csr.astype(np.float64)
+        self.matrix = csr
+        self.indptr = csr.indptr
+        self.indices = csr.indices
+        self.data = csr.data
+        self.shape = csr.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CsrOperand(shape={self.shape}, nnz={self.data.shape[0]})"
+
+
+@dataclass(frozen=True)
+class KernelSet:
+    """One complete implementation of the solve-path inner loops.
+
+    All array arguments are ``float64``; "block" means an ``(n, k)`` array
+    of any memory order, "vec" a 1-D ``(n,)`` array.  Kernels marked
+    *in-place* mutate their first argument(s) and return ``None``; the rest
+    return fresh arrays.  Every function is required to be bitwise equal to
+    its :mod:`repro.kernels.reference` counterpart (see the package
+    docstring for the contract).
+
+    Attributes
+    ----------
+    name:
+        Backend name (``"numpy"`` or ``"numba"``).
+    jit:
+        Whether the kernels are actually JIT-compiled.  The numba backend
+        reports ``False`` when numba is missing and the kernel source runs
+        as plain Python (only reachable explicitly, via
+        ``numba_backend.build_kernels()`` — never from :func:`get_kernels`).
+    """
+
+    name: str
+    jit: bool
+
+    # --- elimination transfers (in-place on carry / x) ------------------- #
+    forward_rake: Callable = field(repr=False)
+    forward_compress: Callable = field(repr=False)
+    backward_rake: Callable = field(repr=False)
+    backward_compress: Callable = field(repr=False)
+
+    # --- sparse apply ----------------------------------------------------- #
+    csr_matvec: Callable = field(repr=False)
+
+    # --- width-invariant column reductions (blocks) ----------------------- #
+    column_dot: Callable = field(repr=False)
+    column_norms: Callable = field(repr=False)
+    column_means: Callable = field(repr=False)
+    subtract_column_means: Callable = field(repr=False)
+    subtract_gathered: Callable = field(repr=False)
+
+    # --- batched CG recurrences (in-place) -------------------------------- #
+    cg_update_solution: Callable = field(repr=False)
+    cg_update_direction: Callable = field(repr=False)
+
+    # --- Chebyshev semi-iteration updates (in-place, scalar coeffs) ------- #
+    cheb_update_x: Callable = field(repr=False)
+    cheb_update_p: Callable = field(repr=False)
+    cheb_update_r: Callable = field(repr=False)
+
+    # --- diagonal (Jacobi) preconditioner application --------------------- #
+    diag_scale: Callable = field(repr=False)
+
+
+_NUMBA_AVAILABLE: Optional[bool] = None
+
+
+def numba_available() -> bool:
+    """Whether the ``numba`` package is importable (checked once, lazily)."""
+    global _NUMBA_AVAILABLE
+    if _NUMBA_AVAILABLE is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_AVAILABLE = True
+        except ImportError:
+            _NUMBA_AVAILABLE = False
+    return _NUMBA_AVAILABLE
+
+
+def numba_version() -> Optional[str]:
+    """The installed numba version string, or ``None`` when missing."""
+    if not numba_available():
+        return None
+    import numba
+
+    return str(numba.__version__)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Concrete backend names selectable right now (never includes "auto")."""
+    return ("numpy", "numba") if numba_available() else ("numpy",)
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a requested backend name to a concrete one.
+
+    Resolution order: the ``REPRO_KERNEL_BACKEND`` environment variable when
+    set (and non-empty), else ``backend``, else ``"auto"``.  ``"auto"``
+    selects ``"numba"`` when importable and falls back to ``"numpy"``
+    silently; an explicit ``"numba"`` raises :class:`KernelBackendError`
+    when numba is missing.
+    """
+    env = os.environ.get(BACKEND_ENV_VAR)
+    name = env if env else (backend if backend else "auto")
+    if name not in BACKEND_NAMES:
+        source = f"{BACKEND_ENV_VAR}={env!r}" if env else f"kernel_backend={name!r}"
+        raise KernelBackendError(
+            f"unknown kernel backend from {source}; expected one of {BACKEND_NAMES}"
+        )
+    if name == "auto":
+        return "numba" if numba_available() else "numpy"
+    if name == "numba" and not numba_available():
+        raise KernelBackendError(
+            "kernel backend 'numba' was requested but numba is not installed; "
+            "install the optional extra (pip install 'repro-sdd-solver[kernels]') "
+            "or select backend 'numpy'/'auto'"
+        )
+    return name
+
+
+def get_kernels(backend: Optional[str] = None) -> KernelSet:
+    """Return the :class:`KernelSet` for ``backend`` (see :func:`resolve_backend`)."""
+    name = resolve_backend(backend)
+    if name == "numpy":
+        from repro.kernels import reference
+
+        return reference.KERNELS
+    from repro.kernels import numba_backend
+
+    return numba_backend.load()
+
+
+def default_kernels() -> KernelSet:
+    """The always-available reference kernels (internal default argument)."""
+    from repro.kernels import reference
+
+    return reference.KERNELS

@@ -1,0 +1,575 @@
+"""Numba ``@njit(nogil=True)`` implementation of the solve-path kernels.
+
+Every kernel here is the explicit-loop form of its
+:mod:`repro.kernels.reference` counterpart, written to be **bit-for-bit**
+equal to it (see the package docstring for the contract):
+
+* scatter-adds run sequentially in step order — exactly ``np.add.at``'s
+  per-slot accumulation (batched blocks loop column-major, which replays
+  each slot's adds in the same order, so it also matches the reference's
+  layered decomposition);
+* column reductions re-implement NumPy's pairwise summation tree — the
+  8-accumulator 128-element blocked algorithm of ``pairwise_sum`` in
+  NumPy's reduce machinery — with an explicit stack instead of recursion
+  (numba closures cannot recurse, and the tree depends only on the length,
+  never on strides or SIMD width);
+* CSR matvecs accumulate per row in stored-entry order, matching SciPy's
+  ``csr_matvec``/``csr_matvecs`` C routines;
+* recurrence updates evaluate the reference expression per element; IEEE
+  addition is commutative, so in-place ``p = beta*p + z`` matches the
+  reference's ``z + beta*p``.
+
+The module imports **without numba**: the decorators degrade to identity
+and the kernels run as plain (slow) Python.  That mode is never selected
+by :func:`repro.kernels.get_kernels` — it exists so the test suite can pin
+the compiled kernels' semantics against the reference on machines without
+numba (:func:`build_kernels` with ``jit`` unavailable), which is also
+exactly what ``@njit`` compiles when numba *is* present.  Compiled kernels
+are cached on disk (``cache=True``; honor ``NUMBA_CACHE_DIR`` to redirect
+the cache), so warmup is paid once per machine, not once per process.
+
+No ``fastmath``, no ``parallel=True``: both license floating-point
+reassociation (fastmath) or nondeterministic accumulation order (prange
+reductions), which would break the bit-identity guarantee.  Parallelism
+comes from *callers* overlapping on multiple threads while these kernels
+hold no GIL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import CsrOperand, KernelSet
+
+try:  # pragma: no cover - exercised on numba-equipped lanes
+    import numba as _numba
+
+    HAVE_NUMBA = True
+
+    def _njit(fn):
+        return _numba.njit(cache=True, nogil=True, fastmath=False)(fn)
+
+except ImportError:  # pragma: no cover - the no-numba lane
+    _numba = None
+    HAVE_NUMBA = False
+
+    def _njit(fn):
+        return fn
+
+
+# --------------------------------------------------------------------------- #
+# NumPy-exact pairwise summation (explicit-stack form of np.add.reduce's tree)
+# --------------------------------------------------------------------------- #
+# NumPy's pairwise_sum: n < 8 -> sequential; n <= 128 -> 8 accumulators
+# combined as ((r0+r1)+(r2+r3))+((r4+r5)+(r6+r7)) plus a sequential tail;
+# else split at n2 = (n//2) - (n//2 % 8) and add left + right.  The split
+# recursion is emulated with explicit stacks (depth <= ~60 for any int64
+# length; 160 slots is far beyond that).
+
+_PW_STACK = 160
+
+
+@_njit
+def _pairwise_block_dot(a, b, col, off, n):
+    """Sum of ``a[off+i, col] * b[off+i, col]`` in NumPy's pairwise order.
+
+    Passing ``a is b`` yields the squared-norm sum; multiplying on the fly
+    is bitwise identical to materializing the product array first (the same
+    products feed the same tree).
+    """
+    offs = np.empty(_PW_STACK, np.int64)
+    lens = np.empty(_PW_STACK, np.int64)
+    phase = np.empty(_PW_STACK, np.int8)
+    vals = np.empty(_PW_STACK, np.float64)
+    offs[0] = off
+    lens[0] = n
+    phase[0] = 0
+    sp = 1
+    vp = 0
+    while sp > 0:
+        sp -= 1
+        o = offs[sp]
+        m = lens[sp]
+        if phase[sp] == 1:
+            right = vals[vp - 1]
+            left = vals[vp - 2]
+            vp -= 2
+            vals[vp] = left + right
+            vp += 1
+        elif m < 8:
+            s = 0.0
+            for i in range(m):
+                s += a[o + i, col] * b[o + i, col]
+            vals[vp] = s
+            vp += 1
+        elif m <= 128:
+            r0 = a[o, col] * b[o, col]
+            r1 = a[o + 1, col] * b[o + 1, col]
+            r2 = a[o + 2, col] * b[o + 2, col]
+            r3 = a[o + 3, col] * b[o + 3, col]
+            r4 = a[o + 4, col] * b[o + 4, col]
+            r5 = a[o + 5, col] * b[o + 5, col]
+            r6 = a[o + 6, col] * b[o + 6, col]
+            r7 = a[o + 7, col] * b[o + 7, col]
+            i = 8
+            lim = m - (m % 8)
+            while i < lim:
+                r0 += a[o + i, col] * b[o + i, col]
+                r1 += a[o + i + 1, col] * b[o + i + 1, col]
+                r2 += a[o + i + 2, col] * b[o + i + 2, col]
+                r3 += a[o + i + 3, col] * b[o + i + 3, col]
+                r4 += a[o + i + 4, col] * b[o + i + 4, col]
+                r5 += a[o + i + 5, col] * b[o + i + 5, col]
+                r6 += a[o + i + 6, col] * b[o + i + 6, col]
+                r7 += a[o + i + 7, col] * b[o + i + 7, col]
+                i += 8
+            s = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+            while i < m:
+                s += a[o + i, col] * b[o + i, col]
+                i += 1
+            vals[vp] = s
+            vp += 1
+        else:
+            n2 = m // 2
+            n2 -= n2 % 8
+            # Reuse the popped slot for the combine marker; left is pushed
+            # last so it is processed (and lands on the value stack) first.
+            phase[sp] = 1
+            sp += 1
+            offs[sp] = o + n2
+            lens[sp] = m - n2
+            phase[sp] = 0
+            sp += 1
+            offs[sp] = o
+            lens[sp] = n2
+            phase[sp] = 0
+            sp += 1
+    return vals[0]
+
+
+@_njit
+def _pairwise_block_sum(a, col, off, n):
+    """Sum of ``a[off+i, col]`` in NumPy's pairwise order (see the dot twin)."""
+    offs = np.empty(_PW_STACK, np.int64)
+    lens = np.empty(_PW_STACK, np.int64)
+    phase = np.empty(_PW_STACK, np.int8)
+    vals = np.empty(_PW_STACK, np.float64)
+    offs[0] = off
+    lens[0] = n
+    phase[0] = 0
+    sp = 1
+    vp = 0
+    while sp > 0:
+        sp -= 1
+        o = offs[sp]
+        m = lens[sp]
+        if phase[sp] == 1:
+            right = vals[vp - 1]
+            left = vals[vp - 2]
+            vp -= 2
+            vals[vp] = left + right
+            vp += 1
+        elif m < 8:
+            s = 0.0
+            for i in range(m):
+                s += a[o + i, col]
+            vals[vp] = s
+            vp += 1
+        elif m <= 128:
+            r0 = a[o, col]
+            r1 = a[o + 1, col]
+            r2 = a[o + 2, col]
+            r3 = a[o + 3, col]
+            r4 = a[o + 4, col]
+            r5 = a[o + 5, col]
+            r6 = a[o + 6, col]
+            r7 = a[o + 7, col]
+            i = 8
+            lim = m - (m % 8)
+            while i < lim:
+                r0 += a[o + i, col]
+                r1 += a[o + i + 1, col]
+                r2 += a[o + i + 2, col]
+                r3 += a[o + i + 3, col]
+                r4 += a[o + i + 4, col]
+                r5 += a[o + i + 5, col]
+                r6 += a[o + i + 6, col]
+                r7 += a[o + i + 7, col]
+                i += 8
+            s = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+            while i < m:
+                s += a[o + i, col]
+                i += 1
+            vals[vp] = s
+            vp += 1
+        else:
+            n2 = m // 2
+            n2 -= n2 % 8
+            phase[sp] = 1
+            sp += 1
+            offs[sp] = o + n2
+            lens[sp] = m - n2
+            phase[sp] = 0
+            sp += 1
+            offs[sp] = o
+            lens[sp] = n2
+            phase[sp] = 0
+            sp += 1
+    return vals[0]
+
+
+# --------------------------------------------------------------------------- #
+# jitted cores
+# --------------------------------------------------------------------------- #
+@_njit
+def _forward_rake_vec(carry, u, v):
+    for i in range(u.shape[0]):
+        carry[u[i]] += carry[v[i]]
+
+
+@_njit
+def _forward_rake_block(carry, u, v):
+    k = carry.shape[1]
+    for j in range(k):
+        for i in range(u.shape[0]):
+            carry[u[i], j] += carry[v[i], j]
+
+
+@_njit
+def _forward_compress_vec(carry, targets, sources, coeffs):
+    for i in range(targets.shape[0]):
+        carry[targets[i]] += coeffs[i] * carry[sources[i]]
+
+
+@_njit
+def _forward_compress_block(carry, targets, sources, coeffs):
+    k = carry.shape[1]
+    for j in range(k):
+        for i in range(targets.shape[0]):
+            carry[targets[i], j] += coeffs[i] * carry[sources[i], j]
+
+
+@_njit
+def _backward_rake_vec(x, carry, v, u, w):
+    for i in range(v.shape[0]):
+        x[v[i]] = x[u[i]] + carry[v[i]] / w[i]
+
+
+@_njit
+def _backward_rake_block(x, carry, v, u, w):
+    k = x.shape[1]
+    for j in range(k):
+        for i in range(v.shape[0]):
+            x[v[i], j] = x[u[i], j] + carry[v[i], j] / w[i]
+
+
+@_njit
+def _backward_compress_vec(x, carry, v, u1, u2, w1, w2, total):
+    for i in range(v.shape[0]):
+        x[v[i]] = (w1[i] * x[u1[i]] + w2[i] * x[u2[i]] + carry[v[i]]) / total[i]
+
+
+@_njit
+def _backward_compress_block(x, carry, v, u1, u2, w1, w2, total):
+    k = x.shape[1]
+    for j in range(k):
+        for i in range(v.shape[0]):
+            x[v[i], j] = (
+                w1[i] * x[u1[i], j] + w2[i] * x[u2[i], j] + carry[v[i], j]
+            ) / total[i]
+
+
+@_njit
+def _csr_matvec_vec(indptr, indices, data, x, out):
+    for i in range(out.shape[0]):
+        s = 0.0
+        for jj in range(indptr[i], indptr[i + 1]):
+            s += data[jj] * x[indices[jj]]
+        out[i] = s
+
+
+@_njit
+def _csr_matvec_block(indptr, indices, data, x, out):
+    k = out.shape[1]
+    for i in range(out.shape[0]):
+        for jj in range(indptr[i], indptr[i + 1]):
+            a = data[jj]
+            j = indices[jj]
+            for c in range(k):
+                out[i, c] += a * x[j, c]
+
+
+@_njit
+def _column_dot(a, b, out):
+    n = a.shape[0]
+    for j in range(a.shape[1]):
+        out[j] = _pairwise_block_dot(a, b, j, 0, n)
+
+
+@_njit
+def _column_norms(a, out):
+    n = a.shape[0]
+    for j in range(a.shape[1]):
+        out[j] = np.sqrt(_pairwise_block_dot(a, a, j, 0, n))
+
+
+@_njit
+def _column_means(a, out):
+    n = a.shape[0]
+    denom = float(max(n, 1))
+    for j in range(a.shape[1]):
+        out[j] = _pairwise_block_sum(a, j, 0, n) / denom
+
+
+@_njit
+def _subtract_column_means(v, out):
+    n = v.shape[0]
+    denom = float(max(n, 1))
+    for j in range(v.shape[1]):
+        mean = _pairwise_block_sum(v, j, 0, n) / denom
+        for i in range(n):
+            out[i, j] = v[i, j] - mean
+
+
+@_njit
+def _subtract_gathered_block(v, scaled, labels, out):
+    k = v.shape[1]
+    for i in range(v.shape[0]):
+        lab = labels[i]
+        for j in range(k):
+            out[i, j] = v[i, j] - scaled[lab, j]
+
+
+@_njit
+def _cg_update_solution(x, r, p, ap, alpha):
+    k = x.shape[1]
+    for i in range(x.shape[0]):
+        for j in range(k):
+            x[i, j] += alpha[j] * p[i, j]
+            r[i, j] -= alpha[j] * ap[i, j]
+
+
+@_njit
+def _cg_update_direction(p, z, beta):
+    k = p.shape[1]
+    for i in range(p.shape[0]):
+        for j in range(k):
+            p[i, j] = z[i, j] + beta[j] * p[i, j]
+
+
+@_njit
+def _cheb_update_x_vec(x, p, alpha):
+    for i in range(x.shape[0]):
+        x[i] += alpha * p[i]
+
+
+@_njit
+def _cheb_update_x_block(x, p, alpha):
+    for i in range(x.shape[0]):
+        for j in range(x.shape[1]):
+            x[i, j] += alpha * p[i, j]
+
+
+@_njit
+def _cheb_update_p_vec(p, z, beta):
+    for i in range(p.shape[0]):
+        p[i] = z[i] + beta * p[i]
+
+
+@_njit
+def _cheb_update_p_block(p, z, beta):
+    for i in range(p.shape[0]):
+        for j in range(p.shape[1]):
+            p[i, j] = z[i, j] + beta * p[i, j]
+
+
+@_njit
+def _cheb_update_r_vec(r, ap, alpha):
+    for i in range(r.shape[0]):
+        r[i] -= alpha * ap[i]
+
+
+@_njit
+def _cheb_update_r_block(r, ap, alpha):
+    for i in range(r.shape[0]):
+        for j in range(r.shape[1]):
+            r[i, j] -= alpha * ap[i, j]
+
+
+@_njit
+def _diag_scale_vec(inv, r, out):
+    for i in range(r.shape[0]):
+        out[i] = inv[i] * r[i]
+
+
+@_njit
+def _diag_scale_block(inv, r, out):
+    for i in range(r.shape[0]):
+        for j in range(r.shape[1]):
+            out[i, j] = inv[i] * r[i, j]
+
+
+# --------------------------------------------------------------------------- #
+# KernelSet entry points (thin Python dispatchers over the jitted cores)
+# --------------------------------------------------------------------------- #
+def forward_rake(carry, u, v, layers) -> None:
+    if carry.ndim == 1:
+        _forward_rake_vec(carry, u, v)
+    else:
+        _forward_rake_block(carry, u, v)
+
+
+def forward_compress(carry, targets, sources, coeffs, layers) -> None:
+    if carry.ndim == 1:
+        _forward_compress_vec(carry, targets, sources, coeffs)
+    else:
+        _forward_compress_block(carry, targets, sources, coeffs)
+
+
+def backward_rake(x, carry, v, u, w) -> None:
+    if x.ndim == 1:
+        _backward_rake_vec(x, carry, v, u, w)
+    else:
+        _backward_rake_block(x, carry, v, u, w)
+
+
+def backward_compress(x, carry, v, u1, u2, w1, w2, total) -> None:
+    if x.ndim == 1:
+        _backward_compress_vec(x, carry, v, u1, u2, w1, w2, total)
+    else:
+        _backward_compress_block(x, carry, v, u1, u2, w1, w2, total)
+
+
+def csr_matvec(operand: CsrOperand, x):
+    x = np.asarray(x, dtype=np.float64)
+    n_rows = operand.shape[0]
+    if x.ndim == 1:
+        out = np.zeros(n_rows)
+        _csr_matvec_vec(operand.indptr, operand.indices, operand.data, x, out)
+    else:
+        out = np.zeros((n_rows, x.shape[1]))
+        _csr_matvec_block(operand.indptr, operand.indices, operand.data, x, out)
+    return out
+
+
+def column_dot(a, b):
+    out = np.empty(a.shape[1])
+    _column_dot(a, b, out)
+    return out
+
+
+def column_norms(a):
+    out = np.empty(a.shape[1])
+    _column_norms(a, out)
+    return out
+
+
+def column_means(a):
+    out = np.empty(a.shape[1])
+    _column_means(a, out)
+    return out
+
+
+def subtract_column_means(v):
+    # NumPy's broadcasting `v - means` yields a C-ordered block for the mixed
+    # (n, k) op (k,) operand pair; match that layout for downstream sweeps.
+    out = np.empty(v.shape)
+    _subtract_column_means(v, out)
+    return out
+
+
+def subtract_gathered(v, scaled, labels):
+    if v.ndim == 1:
+        # Not on the block hot path; the reference expression is already the
+        # bit-exact semantics.
+        return v - scaled[labels]
+    out = np.empty(v.shape)
+    _subtract_gathered_block(v, scaled, labels, out)
+    return out
+
+
+def cg_update_solution(x, r, p, ap, alpha) -> None:
+    _cg_update_solution(x, r, p, ap, alpha)
+
+
+def cg_update_direction(p, z, beta) -> None:
+    _cg_update_direction(p, z, beta)
+
+
+def cheb_update_x(x, p, alpha) -> None:
+    if x.ndim == 1:
+        _cheb_update_x_vec(x, p, float(alpha))
+    else:
+        _cheb_update_x_block(x, p, float(alpha))
+
+
+def cheb_update_p(p, z, beta) -> None:
+    if p.ndim == 1:
+        _cheb_update_p_vec(p, z, float(beta))
+    else:
+        _cheb_update_p_block(p, z, float(beta))
+
+
+def cheb_update_r(r, ap, alpha) -> None:
+    if r.ndim == 1:
+        _cheb_update_r_vec(r, ap, float(alpha))
+    else:
+        _cheb_update_r_block(r, ap, float(alpha))
+
+
+def diag_scale(inv, r):
+    if r.ndim == 1:
+        out = np.empty(r.shape[0])
+        _diag_scale_vec(inv, r, out)
+    else:
+        out = np.empty(r.shape)
+        _diag_scale_block(inv, r, out)
+    return out
+
+
+def build_kernels() -> KernelSet:
+    """Assemble the numba :class:`KernelSet`.
+
+    With numba installed the cores above are jitted dispatchers
+    (``jit=True``); without it they are the same loops as plain Python
+    (``jit=False``) — selectable only through this function, for tests, and
+    never returned by :func:`repro.kernels.get_kernels`.
+    """
+    return KernelSet(
+        name="numba",
+        jit=HAVE_NUMBA,
+        forward_rake=forward_rake,
+        forward_compress=forward_compress,
+        backward_rake=backward_rake,
+        backward_compress=backward_compress,
+        csr_matvec=csr_matvec,
+        column_dot=column_dot,
+        column_norms=column_norms,
+        column_means=column_means,
+        subtract_column_means=subtract_column_means,
+        subtract_gathered=subtract_gathered,
+        cg_update_solution=cg_update_solution,
+        cg_update_direction=cg_update_direction,
+        cheb_update_x=cheb_update_x,
+        cheb_update_p=cheb_update_p,
+        cheb_update_r=cheb_update_r,
+        diag_scale=diag_scale,
+    )
+
+
+_KERNELS = None
+
+
+def load() -> KernelSet:
+    """The process-wide numba kernel set (requires numba; see ``get_kernels``)."""
+    global _KERNELS
+    if _KERNELS is None:
+        if not HAVE_NUMBA:  # pragma: no cover - guarded by resolve_backend
+            from repro.kernels import KernelBackendError
+
+            raise KernelBackendError(
+                "numba backend loaded without numba installed; "
+                "use get_kernels('auto') for graceful fallback"
+            )
+        _KERNELS = build_kernels()
+    return _KERNELS

@@ -1,0 +1,166 @@
+"""Pure-NumPy reference implementation of the solve-path kernels.
+
+These are the exact sweeps the solver ran before the kernel layer existed,
+moved verbatim behind the :class:`~repro.kernels.KernelSet` interface.
+They define the bit-exactness contract every other backend must match:
+
+* forward transfers replay ``np.add.at``'s sequential per-slot accumulation
+  (vectors directly; batched blocks through the duplicate-free-target
+  *layer* decomposition computed at compile time, which applies the adds
+  aimed at any single slot in original step order);
+* column reductions are the width-invariant pairwise sums of
+  :mod:`repro.linalg.norms`;
+* CSR matvecs are SciPy's ``@``;
+* elementwise recurrence updates evaluate the historical expressions
+  (in-place, which changes no bits — only allocation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import CsrOperand, KernelSet
+from repro.linalg.norms import column_dot, column_means, column_norms
+
+
+# --------------------------------------------------------------------------- #
+# elimination transfers
+# --------------------------------------------------------------------------- #
+def forward_rake(carry: np.ndarray, u: np.ndarray, v: np.ndarray, layers) -> None:
+    """Degree-1 forward sub-round: ``carry[u[i]] += carry[v[i]]`` in step order."""
+    if carry.ndim == 1:
+        np.add.at(carry, u, carry[v])
+        return
+    for u_layer, v_layer in layers:
+        carry[u_layer] += carry[v_layer]
+
+
+def forward_compress(
+    carry: np.ndarray,
+    targets: np.ndarray,
+    sources: np.ndarray,
+    coeffs: np.ndarray,
+    layers,
+) -> None:
+    """Degree-2 forward sub-round: ``carry[t[i]] += c[i] * carry[s[i]]`` in step order."""
+    if carry.ndim == 1:
+        np.add.at(carry, targets, coeffs * carry[sources])
+        return
+    for t_layer, s_layer, c_layer in layers:
+        carry[t_layer] += c_layer[:, None] * carry[s_layer]
+
+
+def backward_rake(
+    x: np.ndarray, carry: np.ndarray, v: np.ndarray, u: np.ndarray, w: np.ndarray
+) -> None:
+    """Degree-1 back-substitution: ``x[v] = x[u] + carry[v] / w`` (unique ``v``)."""
+    if x.ndim == 1:
+        x[v] = x[u] + carry[v] / w
+    else:
+        x[v] = x[u] + carry[v] / w[:, None]
+
+
+def backward_compress(
+    x: np.ndarray,
+    carry: np.ndarray,
+    v: np.ndarray,
+    u1: np.ndarray,
+    u2: np.ndarray,
+    w1: np.ndarray,
+    w2: np.ndarray,
+    total: np.ndarray,
+) -> None:
+    """Degree-2 back-substitution: ``x[v] = (w1 x[u1] + w2 x[u2] + carry[v]) / total``."""
+    if x.ndim == 1:
+        x[v] = (w1 * x[u1] + w2 * x[u2] + carry[v]) / total
+    else:
+        x[v] = (w1[:, None] * x[u1] + w2[:, None] * x[u2] + carry[v]) / total[:, None]
+
+
+# --------------------------------------------------------------------------- #
+# sparse apply
+# --------------------------------------------------------------------------- #
+def csr_matvec(operand: CsrOperand, x: np.ndarray) -> np.ndarray:
+    """Apply the CSR matrix to a vec or block (SciPy's stored-entry order)."""
+    return operand.matrix @ x
+
+
+# --------------------------------------------------------------------------- #
+# column reductions / projections (see repro.linalg.norms)
+# --------------------------------------------------------------------------- #
+def subtract_column_means(v: np.ndarray) -> np.ndarray:
+    """``v - column_means(v)`` for an ``(n, k)`` block (new array)."""
+    return v - column_means(v)
+
+
+def subtract_gathered(v: np.ndarray, scaled: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """``v - scaled[labels]`` (per-component mean removal; new array)."""
+    return v - scaled[labels]
+
+
+# --------------------------------------------------------------------------- #
+# batched CG recurrences
+# --------------------------------------------------------------------------- #
+def cg_update_solution(
+    x: np.ndarray, r: np.ndarray, p: np.ndarray, ap: np.ndarray, alpha: np.ndarray
+) -> None:
+    """``x += alpha * p``; ``r -= alpha * ap`` with per-column ``alpha`` (in place)."""
+    x += alpha * p
+    r -= alpha * ap
+
+
+def cg_update_direction(p: np.ndarray, z: np.ndarray, beta: np.ndarray) -> None:
+    """``p = z + beta * p`` with per-column ``beta`` (in place)."""
+    p *= beta
+    p += z
+
+
+# --------------------------------------------------------------------------- #
+# Chebyshev semi-iteration updates (scalar coefficients)
+# --------------------------------------------------------------------------- #
+def cheb_update_x(x: np.ndarray, p: np.ndarray, alpha: float) -> None:
+    """``x += alpha * p`` (in place)."""
+    x += alpha * p
+
+
+def cheb_update_p(p: np.ndarray, z: np.ndarray, beta: float) -> None:
+    """``p = z + beta * p`` (in place)."""
+    p *= beta
+    p += z
+
+
+def cheb_update_r(r: np.ndarray, ap: np.ndarray, alpha: float) -> None:
+    """``r -= alpha * ap`` (in place)."""
+    r -= alpha * ap
+
+
+# --------------------------------------------------------------------------- #
+# diagonal preconditioner
+# --------------------------------------------------------------------------- #
+def diag_scale(inv: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """``inv * r`` columnwise (new array)."""
+    if r.ndim == 2:
+        return inv[:, None] * r
+    return inv * r
+
+
+KERNELS = KernelSet(
+    name="numpy",
+    jit=False,
+    forward_rake=forward_rake,
+    forward_compress=forward_compress,
+    backward_rake=backward_rake,
+    backward_compress=backward_compress,
+    csr_matvec=csr_matvec,
+    column_dot=column_dot,
+    column_norms=column_norms,
+    column_means=column_means,
+    subtract_column_means=subtract_column_means,
+    subtract_gathered=subtract_gathered,
+    cg_update_solution=cg_update_solution,
+    cg_update_direction=cg_update_direction,
+    cheb_update_x=cheb_update_x,
+    cheb_update_p=cheb_update_p,
+    cheb_update_r=cheb_update_r,
+    diag_scale=diag_scale,
+)

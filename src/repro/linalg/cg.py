@@ -32,6 +32,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.kernels import KernelSet, default_kernels
 from repro.linalg.norms import column_dot, column_norms
 from repro.linalg.operators import MatrixLike, as_operator
 
@@ -175,6 +176,7 @@ def batched_conjugate_gradient(
     preconditioner: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     fixed_iterations: Optional[int] = None,
     on_iteration: Optional[Callable[[int], None]] = None,
+    kernels: Optional[KernelSet] = None,
 ) -> BatchedCGResult:
     """Solve ``A x_j = b_j`` for every column of ``b`` with lockstep PCG.
 
@@ -196,7 +198,13 @@ def batched_conjugate_gradient(
         Called once per iteration with the current number of active columns;
         used by the operator layer to charge PRAM work proportional to the
         arithmetic actually performed.
+    kernels:
+        :class:`~repro.kernels.KernelSet` running the per-iteration column
+        reductions and recurrence updates (reference NumPy when omitted).
+        Backends are bit-for-bit interchangeable, so iteration counts and
+        residuals do not depend on this choice.
     """
+    kset = kernels if kernels is not None else default_kernels()
     apply_a = as_operator(matrix)
     b = np.asarray(b, dtype=float)
     if b.ndim == 1:
@@ -212,7 +220,7 @@ def batched_conjugate_gradient(
 
     # Width-invariant column reductions keep a batched solve bit-for-bit
     # identical to a loop of single solves (see repro.linalg.norms).
-    b_norm = column_norms(b)
+    b_norm = kset.column_norms(b)
     zero_rhs = b_norm == 0.0
     converged_out[zero_rhs] = True
 
@@ -227,8 +235,8 @@ def batched_conjugate_gradient(
     x = np.zeros((n, cols.size))
     z = apply_m(r)
     p = z.copy()
-    rz = column_dot(r, z)
-    res = column_norms(r) / bn
+    rz = kset.column_dot(r, z)
+    res = kset.column_norms(r) / bn
     residuals_out[cols] = res
 
     def retire(mask: np.ndarray, iteration: int, did_converge: bool) -> None:
@@ -253,7 +261,7 @@ def batched_conjugate_gradient(
             break
         active_counts.append(int(cols.size))
         ap = apply_a(p)
-        pap = column_dot(p, ap)
+        pap = kset.column_dot(p, ap)
         broken = pap <= 0  # numerical breakdown (null-space component)
         if np.any(broken):
             retire(broken, it - 1, False)
@@ -261,9 +269,11 @@ def batched_conjugate_gradient(
                 break
             ap, pap = ap[:, ~broken], pap[~broken]
         alpha = rz / pap
-        x = x + alpha * p
-        r = r - alpha * ap
-        res = column_norms(r) / bn
+        # In-place recurrence updates (x += alpha p; r -= alpha ap) change
+        # no bits relative to the historical out-of-place expressions; the
+        # working arrays are compaction copies, never caller-owned.
+        kset.cg_update_solution(x, r, p, ap, alpha)
+        res = kset.column_norms(r) / bn
         if on_iteration is not None:
             on_iteration(int(cols.size))
         if check_tol:
@@ -271,10 +281,12 @@ def batched_conjugate_gradient(
             if cols.size == 0:
                 break
         z = apply_m(r)
-        rz_new = column_dot(r, z)
+        rz_new = kset.column_dot(r, z)
         beta = np.where(rz != 0, rz_new / np.where(rz != 0, rz, 1.0), 0.0)
         rz = rz_new
-        p = z + beta * p
+        # p = z + beta p, evaluated in place as (beta p) + z — bitwise equal
+        # because IEEE-754 addition is commutative.
+        kset.cg_update_direction(p, z, beta)
 
     if cols.size:
         # Ran out of iterations (or fixed-iteration mode): flush the rest.

@@ -22,7 +22,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from repro.linalg.norms import column_means
+from repro.kernels import KernelSet, default_kernels
+from repro.linalg.norms import column_means  # noqa: F401  (re-exported baseline)
 
 
 def solve_laplacian_direct(laplacian: sp.spmatrix, b: np.ndarray) -> np.ndarray:
@@ -90,7 +91,8 @@ class FactorizedLaplacian:
             self.factor_nnz = 0
         self._pinv: Optional[np.ndarray] = None
 
-    def _project(self, x: np.ndarray) -> np.ndarray:
+    def _project(self, x: np.ndarray, kernels: Optional[KernelSet] = None) -> np.ndarray:
+        kset = kernels if kernels is not None else default_kernels()
         labels = self._labels
         if self.n == 0:
             return x
@@ -99,21 +101,28 @@ class FactorizedLaplacian:
                 return x - x.mean()
             # Width-invariant mean: keeps batched bottom solves bit-for-bit
             # equal to single-column ones (see repro.linalg.norms).
-            return x - column_means(x)
+            return kset.subtract_column_means(x)
+        # Per-component sums stay on np.add.at (k components, off the inner
+        # loop); only the full-length gather/subtract dispatches to kernels.
         sums = np.zeros((self._counts.shape[0],) + x.shape[1:], dtype=float)
         np.add.at(sums, labels, x)
         if x.ndim == 1:
-            return x - (sums / self._counts)[labels]
-        return x - (sums / self._counts[:, None])[labels]
+            return kset.subtract_gathered(x, sums / self._counts, labels)
+        return kset.subtract_gathered(x, sums / self._counts[:, None], labels)
 
-    def solve(self, b: np.ndarray) -> np.ndarray:
-        """Apply ``L^+`` to ``b`` (a vector ``(n,)`` or a block ``(n, k)``)."""
+    def solve(self, b: np.ndarray, kernels: Optional[KernelSet] = None) -> np.ndarray:
+        """Apply ``L^+`` to ``b`` (a vector ``(n,)`` or a block ``(n, k)``).
+
+        ``kernels`` runs the null-space projections (reference NumPy when
+        omitted; bit-for-bit interchangeable).  The triangular sweeps remain
+        SciPy's LU solve on every backend.
+        """
         b = np.asarray(b, dtype=float)
         x = np.zeros_like(b)
         if self._lu is not None:
-            rhs = self._project(b)
+            rhs = self._project(b, kernels)
             x[self._keep] = self._lu.solve(rhs[self._keep])
-        return self._project(x)
+        return self._project(x, kernels)
 
     def pseudoinverse(self) -> np.ndarray:
         """The explicit dense pseudo-inverse (computed lazily and cached)."""

@@ -8,28 +8,35 @@ comparator.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.kernels import KernelSet, default_kernels
 
-def jacobi_preconditioner(matrix: sp.spmatrix, *, floor: float = 1e-300) -> Callable[[np.ndarray], np.ndarray]:
+
+def jacobi_preconditioner(
+    matrix: sp.spmatrix,
+    *,
+    floor: float = 1e-300,
+    kernels: Optional[KernelSet] = None,
+) -> Callable[[np.ndarray], np.ndarray]:
     """Return ``r -> D^{-1} r`` for the diagonal ``D`` of ``matrix``.
 
     Zero diagonal entries (isolated vertices of a Laplacian) are left
-    untouched by using an inverse of 0 for them.
+    untouched by using an inverse of 0 for them.  The per-application
+    columnwise scale runs on ``kernels`` (reference NumPy when omitted;
+    bit-for-bit interchangeable).
     """
+    kset = kernels if kernels is not None else default_kernels()
     diag = np.asarray(sp.csr_matrix(matrix).diagonal(), dtype=float)
     inv = np.zeros_like(diag)
     mask = np.abs(diag) > floor
     inv[mask] = 1.0 / diag[mask]
 
     def apply(r: np.ndarray) -> np.ndarray:
-        r = np.asarray(r, dtype=float)
-        if r.ndim == 2:
-            return inv[:, None] * r
-        return inv * r
+        return kset.diag_scale(inv, np.asarray(r, dtype=float))
 
     return apply
 
