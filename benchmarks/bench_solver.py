@@ -247,6 +247,66 @@ def _multi_rhs_row(name: str, g, batch: np.ndarray):
 
 
 # --------------------------------------------------------------------------- #
+# library baselines: scipy.sparse CG and (optional) pyamg
+# --------------------------------------------------------------------------- #
+def scipy_cg_baseline(lap, b: np.ndarray, tol: float = 1e-8, maxiter: int = 8000):
+    """Unpreconditioned ``scipy.sparse.linalg.cg`` on the same system.
+
+    Returns the measurement dict, or ``None`` when scipy is unavailable
+    (the JSON column records ``null`` so downstream diffs stay aligned).
+    """
+    try:
+        from scipy.sparse.linalg import cg as scipy_cg
+    except ImportError:  # pragma: no cover - scipy is a hard dep of repro
+        return None
+    iters = [0]
+
+    def count(_xk):
+        iters[0] += 1
+
+    t0 = time.time()
+    try:
+        x, info = scipy_cg(lap, b, rtol=tol, atol=0.0, maxiter=maxiter, callback=count)
+    except TypeError:  # scipy < 1.12 spelled the relative tolerance "tol"
+        x, info = scipy_cg(lap, b, tol=tol, atol=0.0, maxiter=maxiter, callback=count)
+    seconds = time.time() - t0
+    resid = float(np.linalg.norm(lap @ x - b) / max(np.linalg.norm(b), 1e-300))
+    return {
+        "iterations": int(iters[0]),
+        "seconds": seconds,
+        "converged": bool(info == 0),
+        "relative_residual": resid,
+    }
+
+
+def pyamg_baseline(lap, b: np.ndarray, tol: float = 1e-8, maxiter: int = 400):
+    """Smoothed-aggregation AMG (pyamg) on the same system, when installed.
+
+    Returns ``None`` when pyamg is absent — the benchmark container does not
+    ship it, so the committed JSON records ``null`` for this column.
+    """
+    try:
+        import pyamg
+    except ImportError:
+        return None
+    t0 = time.time()
+    ml = pyamg.smoothed_aggregation_solver(lap.tocsr())
+    setup_seconds = time.time() - t0
+    residuals: List[float] = []
+    t0 = time.time()
+    x = ml.solve(b, tol=tol, maxiter=maxiter, residuals=residuals)
+    seconds = time.time() - t0
+    resid = float(np.linalg.norm(lap @ x - b) / max(np.linalg.norm(b), 1e-300))
+    return {
+        "iterations": max(len(residuals) - 1, 0),
+        "setup_seconds": setup_seconds,
+        "seconds": seconds,
+        "converged": bool(resid <= tol * 10),
+        "relative_residual": resid,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # standalone --json harness
 # --------------------------------------------------------------------------- #
 def collect_payload(sizes=(16, 24, 32, 64, 100), batch_width: int = 8) -> Dict:
@@ -259,6 +319,7 @@ def collect_payload(sizes=(16, 24, 32, 64, 100), batch_width: int = 8) -> Dict:
         b = _rhs(g)
 
         row, op, setup_seconds = _multi_rhs_row(f"grid{size}", g, batch)
+        lap = graph_to_laplacian(g)
 
         t0 = time.time()
         single = op.solve(b, tol=1e-8)
@@ -282,12 +343,25 @@ def collect_payload(sizes=(16, 24, 32, 64, 100), batch_width: int = 8) -> Dict:
                     "relative_residual": single.relative_residual,
                 },
                 "multi_rhs": dict(row.measured, k=batch_width),
+                # Library baselines on the identical (lap, b, tol) system;
+                # null = library not installed in this environment.
+                "baselines": {
+                    "scipy_cg": scipy_cg_baseline(lap, b, tol=1e-8),
+                    "pyamg": pyamg_baseline(lap, b, tol=1e-8),
+                },
             }
         )
+    try:
+        import pyamg  # noqa: F401
+
+        pyamg_available = True
+    except ImportError:
+        pyamg_available = False
     return {
         "experiment": "E8",
-        "schema_version": 1,
+        "schema_version": 2,
         "batch_width": batch_width,
+        "baseline_availability": {"scipy_cg": True, "pyamg": pyamg_available},
         "workloads": workloads,
     }
 
@@ -318,10 +392,16 @@ def main(argv=None) -> int:
     payload = collect_payload(sizes=tuple(args.sizes), batch_width=args.batch)
     for w in payload["workloads"]:
         ratio = w["multi_rhs"]["work_ratio"]
+        cg = w["baselines"]["scipy_cg"]
+        amg = w["baselines"]["pyamg"]
+        cg_col = f"{cg['iterations']}" if cg else "n/a"
+        amg_col = f"{amg['iterations']}" if amg else "n/a"
         print(
             f"{w['workload']}: setup work {w['setup']['work']:.3g}, "
             f"per-solve work {w['per_solve']['work']:.3g}, "
-            f"batched/looped work ratio {ratio:.3f}"
+            f"batched/looped work ratio {ratio:.3f}, "
+            f"iters chain {w['per_solve']['iterations']} / "
+            f"scipy-cg {cg_col} / pyamg {amg_col}"
         )
     if args.json:
         with open(args.out, "w") as fh:

@@ -101,7 +101,11 @@ def grow_balls(
     """
     cost = cost or null_cost()
     n = graph.n
-    centers = np.asarray(centers, dtype=np.int64)
+    # All per-vertex ownership arrays live in the graph's (possibly int32)
+    # index dtype; values are vertex/edge ids plus the -1 sentinel, so the
+    # lean dtype is always wide enough.
+    idt = graph.u.dtype if graph.u.dtype in (np.dtype(np.int32), np.dtype(np.int64)) else np.dtype(np.int64)
+    centers = np.asarray(centers, dtype=idt)
     delays = np.asarray(delays, dtype=np.int64)
     if centers.shape != delays.shape:
         raise ValueError("centers and delays must have the same shape")
@@ -110,10 +114,10 @@ def grow_balls(
     if radius < 0:
         raise ValueError("radius must be non-negative")
 
-    owner = np.full(n, -1, dtype=np.int64)
+    owner = np.full(n, -1, dtype=idt)
     arrival = np.full(n, -1, dtype=np.int64)
-    parent = np.full(n, -1, dtype=np.int64)
-    parent_edge = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=idt)
+    parent_edge = np.full(n, -1, dtype=idt)
     if n == 0 or centers.size == 0:
         return BallGrowth(owner, arrival, parent, parent_edge, rounds=0)
 
@@ -136,7 +140,7 @@ def grow_balls(
     )
     activation_ptr = 0
 
-    frontier = np.empty(0, dtype=np.int64)
+    frontier = np.empty(0, dtype=idt)
     rounds = 0
     for time in range(radius + 1):
         cand_v_parts = []
@@ -168,14 +172,14 @@ def grow_balls(
             if new_centers.size:
                 cand_v_parts.append(new_centers)
                 cand_owner_parts.append(new_centers)
-                cand_parent_parts.append(np.full(new_centers.size, -1, dtype=np.int64))
-                cand_edge_parts.append(np.full(new_centers.size, -1, dtype=np.int64))
+                cand_parent_parts.append(np.full(new_centers.size, -1, dtype=idt))
+                cand_edge_parts.append(np.full(new_centers.size, -1, dtype=idt))
             activation_ptr = act_end
 
         if not cand_v_parts:
             if activation_ptr >= centers_sorted.size and frontier.size == 0:
                 break
-            frontier = np.empty(0, dtype=np.int64)
+            frontier = np.empty(0, dtype=idt)
             continue
 
         cand_v = np.concatenate(cand_v_parts)

@@ -38,6 +38,8 @@ from repro.graph.laplacian import graph_to_laplacian
 from repro.graph.union_find import connected_components_arrays
 from repro.linalg.direct import FactorizedLaplacian
 from repro.pram.model import CostModel, log2ceil, null_cost
+from repro.util.dtypes import resolve_index_dtype, resolve_value_dtype
+from repro.util.memprof import StageMemoryTracker
 from repro.util.rng import RngLike, as_rng, derive_seed
 
 
@@ -93,7 +95,9 @@ class PreconditionerChain:
 
     levels: List[ChainLevel]
     bottom_solver: FactorizedLaplacian
-    stats: Dict[str, float] = field(default_factory=dict)
+    #: Mostly-float diagnostics; ``index_dtype`` / ``value_dtype`` are the
+    #: resolved dtype names and the ``mem_*`` keys are byte counts.
+    stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def bottom_pseudoinverse(self) -> np.ndarray:
@@ -157,6 +161,9 @@ def build_chain(
     seed: RngLike = None,
     cost: Optional[CostModel] = None,
     use_tree_only: bool = False,
+    index_dtype: str = "int32",
+    value_dtype: str = "float64",
+    memory_profile: bool = False,
 ) -> PreconditionerChain:
     """Build a preconditioner chain for the Laplacian of ``graph``.
 
@@ -186,6 +193,18 @@ def build_chain(
         of the low-stretch construction as the kept subgraph, mimicking a
         chain built from a low-stretch tree instead of an ultra-sparse
         subgraph.
+    index_dtype, value_dtype:
+        Dtype policy of every edge/vertex array the build materializes (see
+        :class:`~repro.core.config.ChainConfig`).  The working graph is
+        normalized once at entry; the lean dtypes then propagate through
+        every stage.  Index dtypes never change float arithmetic, so solves
+        are bit-identical across index settings.
+    memory_profile:
+        Record per-stage tracemalloc peaks and reset the kernel RSS
+        high-water mark between stages (adds overhead; the always-on cheap
+        RSS deltas are recorded regardless).  Deliberately a keyword, not a
+        :class:`ChainConfig` field: profiling changes only ``chain.stats``,
+        never the chain, so it must not split the chain-cache key.
 
     Returns
     -------
@@ -201,12 +220,22 @@ def build_chain(
         use_log_factor = config.use_log_factor
         reweight = config.reweight
         use_tree_only = config.use_tree_only
+        index_dtype = config.index_dtype
+        value_dtype = config.value_dtype
     cost = cost or null_cost()
     rng = as_rng(seed)
     if graph.n == 0:
         raise ValueError("cannot build a chain for an empty graph")
     if bottom_size is None:
         bottom_size = default_bottom_size(graph.num_edges, graph.n)
+
+    # Resolve the dtype policy up front ("int32" raises IndexOverflowError
+    # here, before any O(m) allocation, when the graph exceeds capacity) and
+    # normalize the working graph once; everything downstream preserves the
+    # lean dtypes.
+    idt = resolve_index_dtype(index_dtype, graph.n, graph.num_edges)
+    vdt = resolve_value_dtype(value_dtype)
+    mem = StageMemoryTracker(profile=memory_profile)
 
     levels: List[ChainLevel] = []
     timings = {
@@ -216,23 +245,47 @@ def build_chain(
         "seconds_transfer": 0.0,
         "seconds_bottom": 0.0,
     }
-    current = graph
+    with mem.stage("normalize"):
+        if graph.u.dtype == idt and graph.v.dtype == idt and graph.w.dtype == vdt:
+            current = graph
+        else:
+            current = Graph(
+                graph.n,
+                graph.u.astype(idt, copy=False),
+                graph.v.astype(idt, copy=False),
+                graph.w.astype(vdt, copy=False),
+                validate=False,
+            )
     level_kappa = float(kappa)
     for _level_index in range(max_levels):
-        lap = graph_to_laplacian(current)
+        with mem.stage("laplacian"):
+            lap = graph_to_laplacian(current)
         is_last_slot = _level_index == max_levels - 1
-        if is_last_slot or current.n <= bottom_size or current.num_edges <= max(current.n, 8):
+        # The forest test compares edges against *non-isolated* vertices:
+        # rake/compress never removes degree-0 vertices, so on graphs that
+        # shed whole components (power-law inputs especially) ``n`` stays
+        # inflated while the surviving edges concentrate in a dense cyclic
+        # core whose LU fill-in explodes.  Counting only occupied vertices
+        # keeps sparsifying that core; with no isolated vertices the test
+        # is identical to the historical ``m <= max(n, 8)``.
+        occupied = np.zeros(current.n, dtype=bool)
+        occupied[current.u] = True
+        occupied[current.v] = True
+        num_live = int(np.count_nonzero(occupied))
+        del occupied
+        if is_last_slot or current.n <= bottom_size or current.num_edges <= max(num_live, 8):
             levels.append(ChainLevel(graph=current, laplacian=lap))
             break
 
         # Low-stretch subgraph is computed in the length metric (resistances
         # are reciprocals of conductances).
         t0 = time.perf_counter()
-        length_graph = current.reweighted(1.0 / current.w)
-        params = subgraph_parameters or SparseAKPWParameters.practical(current.n, lam=lam, beta=beta)
-        subgraph = low_stretch_subgraph(
-            length_graph, parameters=params, seed=derive_seed(rng), cost=cost
-        )
+        with mem.stage("subgraph"):
+            length_graph = current.reweighted(1.0 / current.w)
+            params = subgraph_parameters or SparseAKPWParameters.practical(current.n, lam=lam, beta=beta)
+            subgraph = low_stretch_subgraph(
+                length_graph, parameters=params, seed=derive_seed(rng), cost=cost
+            )
         timings["seconds_subgraph"] += time.perf_counter() - t0
         kept_edges = subgraph.tree_edges if use_tree_only else subgraph.edge_indices
         # Sampling stretches are measured against the spanning-forest part
@@ -240,24 +293,27 @@ def build_chain(
         # stretches (oversampling only) and keep the measurement on the
         # vectorized rooted-forest LCA path instead of all-sources Dijkstra.
         t0 = time.perf_counter()
-        sparsifier = incremental_sparsify(
-            current,
-            kept_edges,
-            level_kappa,
-            seed=derive_seed(rng),
-            cost=cost,
-            oversample=oversample,
-            use_log_factor=use_log_factor,
-            reweight=reweight,
-            stretch_edges=subgraph.tree_edges,
-        )
+        with mem.stage("sparsify"):
+            sparsifier = incremental_sparsify(
+                current,
+                kept_edges,
+                level_kappa,
+                seed=derive_seed(rng),
+                cost=cost,
+                oversample=oversample,
+                use_log_factor=use_log_factor,
+                reweight=reweight,
+                stretch_edges=subgraph.tree_edges,
+            )
         timings["seconds_sparsify"] += time.perf_counter() - t0
         t0 = time.perf_counter()
-        elimination = greedy_elimination(sparsifier.graph, seed=derive_seed(rng), cost=cost)
+        with mem.stage("elimination"):
+            elimination = greedy_elimination(sparsifier.graph, seed=derive_seed(rng), cost=cost)
         timings["seconds_elimination"] += time.perf_counter() - t0
         nxt = elimination.reduced_graph
         t0 = time.perf_counter()
-        transfers = compile_transfers(elimination)
+        with mem.stage("transfer"):
+            transfers = compile_transfers(elimination)
         timings["seconds_transfer"] += time.perf_counter() - t0
         levels.append(
             ChainLevel(
@@ -277,12 +333,14 @@ def build_chain(
         current = nxt
     else:
         # Ran out of levels; make the last graph the bottom level anyway.
-        levels.append(ChainLevel(graph=current, laplacian=graph_to_laplacian(current)))
+        with mem.stage("laplacian"):
+            levels.append(ChainLevel(graph=current, laplacian=graph_to_laplacian(current)))
 
     bottom = levels[-1]
     t0 = time.perf_counter()
-    _, bottom_labels = connected_components_arrays(bottom.graph.n, bottom.graph.u, bottom.graph.v)
-    bottom_solver = FactorizedLaplacian(bottom.laplacian, bottom_labels)
+    with mem.stage("bottom"):
+        _, bottom_labels = connected_components_arrays(bottom.graph.n, bottom.graph.u, bottom.graph.v)
+        bottom_solver = FactorizedLaplacian(bottom.laplacian, bottom_labels)
     timings["seconds_bottom"] += time.perf_counter() - t0
     # Sparse factorization of the grounded SPD bottom system: work is
     # charged as the factor fill, depth as the elimination-tree height bound
@@ -298,6 +356,9 @@ def build_chain(
         "bottom_size": float(bottom.num_vertices),
         "bottom_target": float(bottom_size),
         "total_edges": float(sum(l.num_edges for l in levels)),
+        "index_dtype": str(np.dtype(idt)),
+        "value_dtype": str(np.dtype(vdt)),
     }
     stats.update(timings)
+    stats.update(mem.finish())
     return PreconditionerChain(levels=levels, bottom_solver=bottom_solver, stats=stats)

@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 
 from repro.core.methods import available_methods
 from repro.kernels import BACKEND_NAMES as KERNEL_BACKEND_NAMES
+from repro.util.dtypes import INDEX_DTYPE_NAMES, VALUE_DTYPE_NAMES
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,21 @@ class ChainConfig:
     use_tree_only:
         Ablation switch (experiment E11): keep only the spanning-tree part of
         the low-stretch construction.
+    index_dtype:
+        Index dtype of every edge/vertex array the chain build materializes:
+        ``"int32"`` (default — halves index memory; factorize raises
+        :class:`~repro.util.dtypes.IndexOverflowError` if the graph exceeds
+        int32 capacity, i.e. ``max(n, 2m + 2) > 2**31 - 1``), ``"int64"``,
+        or ``"auto"`` (smallest dtype that fits, upcasting as needed).
+        Index dtypes never change float arithmetic: solves are bit-identical
+        across ``int32``/``int64``/``auto``.
+    value_dtype:
+        Dtype of the chain's edge weights: ``"float64"`` (default,
+        bit-identical to historical behaviour) or ``"float32"`` (halves
+        weight memory; per-level Laplacians and the solve itself still
+        accumulate in float64, but chain weights are rounded — solutions
+        differ at single-precision level, so only use it when ~1e-7 relative
+        perturbation of the preconditioner is acceptable).
     """
 
     kappa: float = 25.0
@@ -64,10 +80,22 @@ class ChainConfig:
     use_log_factor: bool = False
     reweight: bool = False
     use_tree_only: bool = False
+    index_dtype: str = "int32"
+    value_dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if not self.kappa > 1.0:
             raise ValueError(f"kappa must be > 1 (got {self.kappa})")
+        if self.index_dtype not in INDEX_DTYPE_NAMES:
+            raise ValueError(
+                f"unknown index_dtype {self.index_dtype!r}; "
+                f"expected one of {INDEX_DTYPE_NAMES}"
+            )
+        if self.value_dtype not in VALUE_DTYPE_NAMES:
+            raise ValueError(
+                f"unknown value_dtype {self.value_dtype!r}; "
+                f"expected one of {VALUE_DTYPE_NAMES}"
+            )
         if int(self.lam) < 1:
             raise ValueError(f"lam must be a positive integer (got {self.lam})")
         if not self.beta > 0:

@@ -160,9 +160,12 @@ def split_graph(
     else:
         R = max(1, int(round(rho / (2.0 * log_n))))
 
-    labels = np.full(n, -1, dtype=np.int64)
-    parent = np.full(n, -1, dtype=np.int64)
-    parent_edge = np.full(n, -1, dtype=np.int64)
+    # Per-vertex outputs inherit the graph's lean index dtype (component
+    # indices and vertex/edge ids all fit it by construction).
+    idt = graph.u.dtype if graph.u.dtype in (np.dtype(np.int32), np.dtype(np.int64)) else np.dtype(np.int64)
+    labels = np.full(n, -1, dtype=idt)
+    parent = np.full(n, -1, dtype=idt)
+    parent_edge = np.full(n, -1, dtype=idt)
     centers_out = []
     iteration_out = []
     alive = np.ones(n, dtype=bool)
@@ -214,7 +217,7 @@ def split_graph(
 
     return Decomposition(
         labels=labels,
-        centers=np.asarray(centers_out, dtype=np.int64),
+        centers=np.asarray(centers_out, dtype=idt),
         iteration=np.asarray(iteration_out, dtype=np.int64),
         parent=parent,
         parent_edge=parent_edge,

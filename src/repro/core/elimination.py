@@ -278,13 +278,16 @@ def _coalesce(
         return eu, ev, ew, ets
     lo = np.minimum(eu, ev)
     hi = np.maximum(eu, ev)
+    # Pair keys must be int64 regardless of the endpoint dtype: lo * n + hi
+    # overflows int32 for n beyond ~46k (int32 array * int64 scalar promotes
+    # to int64 under NEP 50, so the multiply below is always safe).
     keys = lo * np.int64(n) + hi
     uniq, inverse = np.unique(keys, return_inverse=True)
-    w = np.zeros(uniq.shape[0], dtype=np.float64)
+    w = np.zeros(uniq.shape[0], dtype=ew.dtype)
     np.add.at(w, inverse, ew)
     ts = np.full(uniq.shape[0], np.iinfo(np.int64).max, dtype=np.int64)
     np.minimum.at(ts, inverse, ets)
-    return (uniq // n).astype(np.int64), (uniq % n).astype(np.int64), w, ts
+    return (uniq // n).astype(eu.dtype), (uniq % n).astype(eu.dtype), w, ts
 
 
 class _ScheduleBuilder:
@@ -412,15 +415,20 @@ def _eliminate_parallel(
             heads = np.zeros(n, dtype=bool)
             heads[deg2[coins]] = True
             # Gather both incident edges of every degree-2 vertex: its two
-            # entries in the (src, dst) direction-doubled edge arrays.
-            src = np.concatenate([eu, ev])
-            dst = np.concatenate([ev, eu])
-            dwt = np.concatenate([ew, ew])
-            sel = deg2_mask[src]
-            order = np.argsort(src[sel], kind="stable")
-            s2 = src[sel][order]
-            d2 = dst[sel][order]
-            w2 = dwt[sel][order]
+            # entries in the (src, dst) direction-doubled view.  Filtering
+            # each direction *before* concatenating keeps the doubled
+            # scratch proportional to the degree-2 incidences rather than
+            # 2m; the concatenation order matches the unfiltered
+            # ``concat(eu, ev)[deg2_mask[...]]`` exactly.
+            sel_u = deg2_mask[eu]
+            sel_v = deg2_mask[ev]
+            s2 = np.concatenate([eu[sel_u], ev[sel_v]])
+            d2 = np.concatenate([ev[sel_u], eu[sel_v]])
+            w2 = np.concatenate([ew[sel_u], ew[sel_v]])
+            order = np.argsort(s2, kind="stable")
+            s2 = s2[order]
+            d2 = d2[order]
+            w2 = w2[order]
             vs = s2[0::2]  # == deg2 (ascending), each exactly twice
             u1, u2 = d2[0::2], d2[1::2]
             wa, wb = w2[0::2], w2[1::2]
@@ -456,8 +464,9 @@ def _eliminate_parallel(
             break
 
     kept = np.flatnonzero(~dead)
-    remap = np.full(n, -1, dtype=np.int64)
-    remap[kept] = np.arange(kept.shape[0])
+    idt = graph.u.dtype
+    remap = np.full(n, -1, dtype=idt)
+    remap[kept] = np.arange(kept.shape[0], dtype=idt)
     if eu.size:
         lo = np.minimum(eu, ev)
         hi = np.maximum(eu, ev)
@@ -467,10 +476,10 @@ def _eliminate_parallel(
         order = np.lexsort((ets, lo))
         ru, rv, rw = remap[lo[order]], remap[hi[order]], ew[order]
     else:
-        ru = np.zeros(0, dtype=np.int64)
-        rv = np.zeros(0, dtype=np.int64)
-        rw = np.zeros(0, dtype=np.float64)
-    reduced = Graph(kept.shape[0], ru, rv, rw)
+        ru = np.zeros(0, dtype=idt)
+        rv = np.zeros(0, dtype=idt)
+        rw = np.zeros(0, dtype=graph.w.dtype)
+    reduced = Graph(kept.shape[0], ru, rv, rw, validate=False)
     return builder.build(), kept, reduced, rounds, edge_scans
 
 

@@ -261,7 +261,14 @@ class LaplacianOperator:
         self._original_n = int(original_n)
         self.cost = cost
         self._rng = rng
-        self.laplacian = graph_to_laplacian(graph)
+        # The chain's top level already holds the CSR Laplacian of this very
+        # graph whenever build_chain didn't have to re-dtype it; reusing that
+        # object avoids a second O(m) materialization (same input, same
+        # function — the matrices are identical).
+        if chain.levels and chain.levels[0].graph is graph:
+            self.laplacian = chain.levels[0].laplacian
+        else:
+            self.laplacian = graph_to_laplacian(graph)
         self.inner_iterations = solver_config.resolve_inner_iterations(chain_config.kappa)
 
         # Kernel backend, resolved exactly once per operator (env override
@@ -657,6 +664,7 @@ def factorize(
     seed: RngLike = None,
     cost: Optional[CostModel] = None,
     cache: bool = False,
+    memory_profile: bool = False,
 ) -> LaplacianOperator:
     """Build a reusable :class:`LaplacianOperator` for ``matrix``.
 
@@ -682,6 +690,13 @@ def factorize(
         (:mod:`repro.core.chain_cache`).  Only integer-seeded
         factorizations are cacheable — with a generator or ``None`` seed two
         calls are not reproducibly identical, so the cache is bypassed.
+    memory_profile:
+        Record per-stage tracemalloc peaks and per-stage RSS high-water
+        marks in ``operator.chain.stats`` (see
+        :func:`repro.core.chain.build_chain`).  Profiling runs bypass the
+        chain cache in both directions: a hit would return a chain built
+        without the requested profile, and a profiled build is not
+        representative to share.
 
     Examples
     --------
@@ -701,7 +716,7 @@ def factorize(
     solver_config = solver if solver is not None else SolverConfig()
 
     key = None
-    if cache:
+    if cache and not memory_profile:
         key = chain_cache.make_key(matrix, chain_config, solver_config, seed)
         if key is not None:
             hit = chain_cache.lookup(key)
@@ -731,7 +746,9 @@ def factorize(
         original = mat
         graph = laplacian_to_graph(reduction.laplacian)
 
-    built = build_chain(graph, config=chain_config, seed=rng, cost=model)
+    built = build_chain(
+        graph, config=chain_config, seed=rng, cost=model, memory_profile=memory_profile
+    )
     operator = LaplacianOperator(
         graph=graph,
         chain=built,

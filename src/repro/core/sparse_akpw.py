@@ -238,8 +238,11 @@ def sparse_akpw(
     # Bucket grouping is a semisort of the edge keys (O(m) work, log depth).
     charge_semisort(cost, m)
 
-    current = Graph(n, graph.u.copy(), graph.v.copy(), graph.w.copy())
-    orig_ids = np.arange(m, dtype=np.int64)
+    # The driver never mutates edge arrays in place — contraction and
+    # subgraph extraction always build fresh graphs — so the input graph is
+    # used directly instead of paying a defensive three-array copy.
+    current = graph
+    orig_ids = np.arange(m, dtype=graph.u.dtype)
     tree_edges: List[np.ndarray] = []
     extra_edges: List[np.ndarray] = []
     already_emitted = np.zeros(m, dtype=bool)
@@ -313,10 +316,10 @@ def sparse_akpw(
             tree_edges.append(orig_ids[leftover])
 
     tree_arr = (
-        np.unique(np.concatenate(tree_edges)) if tree_edges else np.empty(0, dtype=np.int64)
+        np.unique(np.concatenate(tree_edges)) if tree_edges else np.empty(0, dtype=orig_ids.dtype)
     )
     extra_arr = (
-        np.unique(np.concatenate(extra_edges)) if extra_edges else np.empty(0, dtype=np.int64)
+        np.unique(np.concatenate(extra_edges)) if extra_edges else np.empty(0, dtype=orig_ids.dtype)
     )
     extra_arr = np.setdiff1d(extra_arr, tree_arr, assume_unique=True)
     all_edges = np.union1d(tree_arr, extra_arr)
@@ -361,8 +364,8 @@ def low_stretch_subgraph(
 
     tau = max(1, int(math.ceil(3.0 * math.log2(max(graph.n, 2)) / math.log2(max(params.y, 2.0)))))
     removed_mask, specials = well_spaced_split(graph, params.z, tau, params.theta)
-    kept_idx = np.flatnonzero(~removed_mask)
-    removed_idx = np.flatnonzero(removed_mask)
+    kept_idx = np.flatnonzero(~removed_mask).astype(graph.u.dtype, copy=False)
+    removed_idx = np.flatnonzero(removed_mask).astype(graph.u.dtype, copy=False)
     charge_filter(cost, m)
 
     core_cost = CostModel(enabled=cost.enabled)

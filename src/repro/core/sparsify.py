@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.stretch import edge_stretches
 from repro.graph.graph import Graph
+from repro.util.dtypes import as_index_array
 from repro.pram.model import CostModel, null_cost
 from repro.pram.primitives import charge_filter, charge_map
 from repro.util.rng import RngLike, as_rng
@@ -147,10 +148,10 @@ def incremental_sparsify(
     if subgraph_edges.dtype == bool:
         subgraph_edges = np.flatnonzero(subgraph_edges)
     else:
-        subgraph_edges = subgraph_edges.astype(np.int64)
+        subgraph_edges = as_index_array(subgraph_edges)
     in_subgraph = np.zeros(m, dtype=bool)
     in_subgraph[subgraph_edges] = True
-    off_edges = np.flatnonzero(~in_subgraph)
+    off_edges = np.flatnonzero(~in_subgraph).astype(graph.u.dtype, copy=False)
     charge_map(cost, m)
 
     if off_edges.size == 0:
@@ -169,7 +170,7 @@ def incremental_sparsify(
         if stretch_basis.dtype == bool:
             stretch_basis = np.flatnonzero(stretch_basis)
         else:
-            stretch_basis = stretch_basis.astype(np.int64)
+            stretch_basis = as_index_array(stretch_basis)
     stretches = resistive_stretches(graph, stretch_basis, off_edges)
     charge_map(cost, off_edges.size, per_item_work=math.log2(max(n, 2)))
     log_factor = math.log2(max(n, 2)) if use_log_factor else 1.0

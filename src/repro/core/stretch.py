@@ -24,6 +24,7 @@ import numpy as np
 from repro.graph.forest import is_forest_edges, root_forest
 from repro.graph.graph import Graph
 from repro.graph.shortest_paths import shortest_path_distances
+from repro.util.dtypes import as_index_array
 
 
 def _tree_structure(
@@ -40,7 +41,7 @@ def _tree_structure(
     smallest-vertex root.
     """
     n = graph.n
-    tree_edges = np.asarray(tree_edges, dtype=np.int64)
+    tree_edges = as_index_array(tree_edges)
     if tree_edges.shape[0] >= max(n, 1):
         raise ValueError("tree_edges contains a cycle (too many edges)")
     try:
@@ -82,9 +83,9 @@ def tree_stretches(
     parent, _parent_w, hop_depth, w_depth, component = _tree_structure(graph, tree_edges)
     n = graph.n
     if query_edges is None:
-        query_edges = np.arange(graph.num_edges, dtype=np.int64)
+        query_edges = np.arange(graph.num_edges, dtype=graph.u.dtype)
     else:
-        query_edges = np.asarray(query_edges, dtype=np.int64)
+        query_edges = as_index_array(query_edges)
     qu = graph.u[query_edges].copy()
     qv = graph.v[query_edges].copy()
     weights = graph.w[query_edges]
@@ -97,9 +98,11 @@ def tree_stretches(
     # suffices.
     max_depth = int(hop_depth.max(initial=0))
     levels = 1 + max_depth.bit_length()
-    up = np.empty((levels, n), dtype=np.int64)
+    # The ancestor table is (levels, n) — the largest allocation of the
+    # stretch measurement — so it inherits the forest's lean index dtype.
+    up = np.empty((levels, n), dtype=parent.dtype)
     root_mask = parent < 0
-    up[0] = np.where(root_mask, np.arange(n), parent)
+    up[0] = np.where(root_mask, np.arange(n, dtype=parent.dtype), parent)
     for k in range(1, levels):
         up[k] = up[k - 1][up[k - 1]]
 
@@ -156,11 +159,11 @@ def edge_stretches(
     if subgraph_edges.dtype == bool:
         subgraph_edges = np.flatnonzero(subgraph_edges)
     else:
-        subgraph_edges = subgraph_edges.astype(np.int64)
+        subgraph_edges = as_index_array(subgraph_edges)
     if query_edges is None:
-        query_edges = np.arange(graph.num_edges, dtype=np.int64)
+        query_edges = np.arange(graph.num_edges, dtype=graph.u.dtype)
     else:
-        query_edges = np.asarray(query_edges, dtype=np.int64)
+        query_edges = as_index_array(query_edges)
     if _is_forest(graph, subgraph_edges):
         # Forest: use the exact LCA path (cheaper and exact).
         return tree_stretches(graph, subgraph_edges, query_edges)

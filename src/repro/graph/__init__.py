@@ -13,6 +13,9 @@ here from scratch on top of NumPy/SciPy arrays:
   graph primitives used as sub-routines (connected components, BFS/Dijkstra,
   Borůvka spanning forests, vertex quotients, bulk disjoint sets, and
   vectorized forest rooting via Euler tours + pointer jumping).
+* :mod:`~repro.graph.io` — chunked/memmap edge-list ingestion that builds
+  the CSR graph in streaming passes for graphs that don't fit comfortably
+  in RAM twice.
 """
 
 from repro.graph.graph import Graph
@@ -35,6 +38,13 @@ from repro.graph.shortest_paths import (
 from repro.graph.contraction import contract_vertices
 from repro.graph.union_find import UnionFind, connected_components_arrays
 from repro.graph.forest import RootedForest, forest_components, is_forest_edges, root_forest
+from repro.graph.io import (
+    graph_from_edge_blocks,
+    graph_from_edge_list,
+    iter_edge_blocks,
+    save_edge_list_binary,
+    save_edge_list_npy,
+)
 from repro.graph import generators
 
 __all__ = [
@@ -61,5 +71,10 @@ __all__ = [
     "forest_components",
     "is_forest_edges",
     "root_forest",
+    "graph_from_edge_blocks",
+    "graph_from_edge_list",
+    "iter_edge_blocks",
+    "save_edge_list_binary",
+    "save_edge_list_npy",
     "generators",
 ]

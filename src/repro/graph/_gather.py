@@ -27,16 +27,17 @@ def gather_ranges(
         that owns that adjacency entry (useful for propagating per-source
         values such as distances or owner labels).
     """
+    idt = indptr.dtype if indptr.dtype in (np.dtype(np.int32), np.dtype(np.int64)) else np.dtype(np.int64)
     starts = indptr[frontier]
     ends = indptr[frontier + 1]
     counts = (ends - starts).astype(np.int64)
     total = int(counts.sum())
     if total == 0:
-        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-    owners = np.repeat(np.arange(frontier.shape[0], dtype=np.int64), counts)
+        return np.empty(0, dtype=idt), np.empty(0, dtype=idt)
+    owners = np.repeat(np.arange(frontier.shape[0], dtype=idt), counts)
     # positions = starts[owner] + (local offset within the owner's range)
-    offsets = np.arange(total, dtype=np.int64) - np.repeat(
-        np.concatenate([[0], np.cumsum(counts)[:-1]]), counts
+    offsets = np.arange(total, dtype=idt) - np.repeat(
+        np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(idt, copy=False), counts
     )
     positions = starts[owners] + offsets
     return positions, owners

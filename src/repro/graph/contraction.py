@@ -45,16 +45,21 @@ def contract_vertices(
         Number of super-vertices.
     """
     cost = cost or null_cost()
-    labels = np.asarray(labels, dtype=np.int64)
+    labels = np.asarray(labels)
     if labels.shape[0] != graph.n:
         raise ValueError("labels must have one entry per vertex")
     uniq, compact = np.unique(labels, return_inverse=True)
     num_groups = int(uniq.shape[0])
+    # np.unique's inverse comes back as intp; the contracted vertex ids fit
+    # the parent graph's lean index dtype.
+    compact = compact.astype(graph.u.dtype, copy=False)
     charge_map(cost, graph.n)
     new_u = compact[graph.u]
     new_v = compact[graph.v]
     keep = new_u != new_v
     charge_filter(cost, graph.num_edges)
     surviving = np.flatnonzero(keep)
-    contracted = Graph(num_groups, new_u[surviving], new_v[surviving], graph.w[surviving])
+    contracted = Graph(
+        num_groups, new_u[surviving], new_v[surviving], graph.w[surviving], validate=False
+    )
     return contracted, surviving, num_groups

@@ -33,6 +33,7 @@ import numpy as np
 from repro.graph.union_find import connected_components_arrays
 from repro.pram.model import CostModel, null_cost
 from repro.pram.primitives import charge_map, charge_pointer_jump, charge_rooting_sweep
+from repro.util.dtypes import as_index_array, min_index_dtype
 
 
 @dataclass
@@ -89,7 +90,7 @@ def is_forest_edges(n: int, u: np.ndarray, v: np.ndarray) -> bool:
     An edge set is a forest iff ``m == n - (number of components)``; parallel
     edges (two copies of the same edge) therefore count as a cycle.
     """
-    u = np.asarray(u, dtype=np.int64).ravel()
+    u = as_index_array(u)
     if u.shape[0] >= max(n, 1):
         return False
     count, _ = forest_components(n, u, v)
@@ -130,15 +131,23 @@ def root_forest(
         given the root), computed in O(log n) bulk sweeps.
     """
     cost = cost or null_cost()
-    u = np.asarray(u, dtype=np.int64).ravel()
-    v = np.asarray(v, dtype=np.int64).ravel()
+    u = as_index_array(u)
+    v = as_index_array(v)
     if u.shape != v.shape:
         raise ValueError("u and v must have the same length")
     m = int(u.shape[0])
+    # Everything that indexes vertices or arcs lives in the lean index dtype
+    # (arc ids go up to 2m + 1 including the tour sentinel, which
+    # min_index_dtype accounts for).
+    idt = min_index_dtype(n, m)
+    u = u.astype(idt, copy=False)
+    v = v.astype(idt, copy=False)
     if w is None:
         w = np.ones(m, dtype=np.float64)
     else:
-        w = np.asarray(w, dtype=np.float64).ravel()
+        w = np.asarray(w).ravel()
+        if w.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            w = w.astype(np.float64)
         if w.shape[0] != m:
             raise ValueError("w must have one entry per edge")
     if m and (min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= n):
@@ -148,16 +157,16 @@ def root_forest(
     if m != n - num_comp:
         raise ValueError("edges contain a cycle (not a forest)")
 
-    parent = np.full(n, -1, dtype=np.int64)
-    parent_edge = np.full(n, -1, dtype=np.int64)
-    parent_weight = np.zeros(n, dtype=np.float64)
-    hop_depth = np.zeros(n, dtype=np.int64)
-    weighted_depth = np.zeros(n, dtype=np.float64)
+    parent = np.full(n, -1, dtype=idt)
+    parent_edge = np.full(n, -1, dtype=idt)
+    parent_weight = np.zeros(n, dtype=w.dtype)
+    hop_depth = np.zeros(n, dtype=idt)
+    weighted_depth = np.zeros(n, dtype=w.dtype)
     # Roots are the per-component minima; with min-root hooking the smallest
     # vertex of a component is exactly the first vertex carrying each label.
-    roots = np.full(num_comp, n, dtype=np.int64)
+    roots = np.full(num_comp, n, dtype=idt)
     if n:
-        np.minimum.at(roots, component, np.arange(n, dtype=np.int64))
+        np.minimum.at(roots, component, np.arange(n, dtype=idt))
     if m == 0:
         return RootedForest(
             parent, parent_edge, parent_weight, hop_depth, weighted_depth, component, roots
@@ -169,18 +178,21 @@ def root_forest(
     num_arcs = 2 * m
     src = np.concatenate([u, v])
     dst = np.concatenate([v, u])
-    arc_edge = np.concatenate([np.arange(m), np.arange(m)])
-    twin = np.concatenate([np.arange(m, num_arcs), np.arange(m)])
+    arc_ar = np.arange(m, dtype=idt)
+    arc_edge = np.concatenate([arc_ar, arc_ar])
+    twin = np.concatenate([np.arange(m, num_arcs, dtype=idt), arc_ar])
     charge_map(cost, num_arcs)
 
-    order = np.argsort(src, kind="stable")  # arcs grouped by source vertex
-    deg = np.bincount(src, minlength=n)
-    indptr = np.zeros(n + 1, dtype=np.int64)
+    # arcs grouped by source vertex (argsort returns intp; cast once so
+    # every derived arc array below stays lean)
+    order = np.argsort(src, kind="stable").astype(idt, copy=False)
+    deg = np.bincount(src, minlength=n).astype(idt, copy=False)
+    indptr = np.zeros(n + 1, dtype=idt)
     indptr[1:] = np.cumsum(deg)
     # Position of each arc inside its source's adjacency block, and the
     # cyclic-next arc out of the same source.
-    arc_pos = np.empty(num_arcs, dtype=np.int64)
-    arc_pos[order] = np.arange(num_arcs, dtype=np.int64) - np.repeat(indptr[:-1], deg)
+    arc_pos = np.empty(num_arcs, dtype=idt)
+    arc_pos[order] = np.arange(num_arcs, dtype=idt) - np.repeat(indptr[:-1], deg)
     cyc_next = order[indptr[src] + (arc_pos + 1) % deg[src]]
     # succ(a) = next arc out of head(a) after twin(a): one Euler cycle/tree.
     succ = cyc_next[twin]
@@ -190,14 +202,17 @@ def root_forest(
     term = num_arcs  # sentinel "end of tour"
     active_roots = roots[deg[roots] > 0]
     first_arc = order[indptr[active_roots]]
-    pred = np.empty(num_arcs, dtype=np.int64)
-    pred[succ] = np.arange(num_arcs, dtype=np.int64)
+    pred = np.empty(num_arcs, dtype=idt)
+    pred[succ] = np.arange(num_arcs, dtype=idt)
     succ[pred[first_arc]] = term
     charge_rooting_sweep(cost, num_arcs)
 
     # List-rank by pointer doubling: dist[a] = #arcs from a to the cut.
-    nxt = np.append(succ, term)
-    dist = np.append(np.ones(num_arcs, dtype=np.int64), 0)
+    nxt = np.empty(num_arcs + 1, dtype=idt)
+    nxt[:num_arcs] = succ
+    nxt[num_arcs] = term
+    dist = np.ones(num_arcs + 1, dtype=idt)
+    dist[num_arcs] = 0
     while True:
         charge_rooting_sweep(cost, num_arcs)
         if np.all(nxt[:num_arcs] == term):
@@ -216,8 +231,8 @@ def root_forest(
     charge_map(cost, num_arcs)
 
     # Depths by pointer doubling over parent pointers.
-    anc = np.where(parent >= 0, parent, np.arange(n, dtype=np.int64))
-    hop = (parent >= 0).astype(np.int64)
+    anc = np.where(parent >= 0, parent, np.arange(n, dtype=idt))
+    hop = (parent >= 0).astype(idt)
     wsum = parent_weight.copy()
     while True:
         charge_pointer_jump(cost, n)

@@ -17,6 +17,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.graph.graph import Graph
+from repro.util.dtypes import min_index_dtype
 from repro.util.rng import RngLike, as_rng
 
 
@@ -27,7 +28,7 @@ def path_graph(n: int, weights: Optional[np.ndarray] = None) -> Graph:
     """Path on ``n`` vertices."""
     if n < 1:
         raise ValueError("n must be >= 1")
-    u = np.arange(n - 1, dtype=np.int64)
+    u = np.arange(n - 1, dtype=min_index_dtype(n, n))
     v = u + 1
     return Graph(n, u, v, weights)
 
@@ -36,7 +37,7 @@ def cycle_graph(n: int, weights: Optional[np.ndarray] = None) -> Graph:
     """Cycle on ``n >= 3`` vertices."""
     if n < 3:
         raise ValueError("n must be >= 3")
-    u = np.arange(n, dtype=np.int64)
+    u = np.arange(n, dtype=min_index_dtype(n, n))
     v = (u + 1) % n
     return Graph(n, u, v, weights)
 
@@ -45,15 +46,16 @@ def star_graph(n: int) -> Graph:
     """Star with center 0 and ``n - 1`` leaves."""
     if n < 2:
         raise ValueError("n must be >= 2")
-    u = np.zeros(n - 1, dtype=np.int64)
-    v = np.arange(1, n, dtype=np.int64)
+    idt = min_index_dtype(n, n)
+    u = np.zeros(n - 1, dtype=idt)
+    v = np.arange(1, n, dtype=idt)
     return Graph(n, u, v)
 
 
 def complete_graph(n: int) -> Graph:
     """Complete graph K_n."""
     iu = np.triu_indices(n, k=1)
-    return Graph(n, iu[0].astype(np.int64), iu[1].astype(np.int64))
+    return Graph(n, iu[0], iu[1], index_dtype="auto")
 
 
 def grid_2d(rows: int, cols: int, *, wrap: bool = False) -> Graph:
@@ -63,7 +65,11 @@ def grid_2d(rows: int, cols: int, *, wrap: bool = False) -> Graph:
     """
     if rows < 1 or cols < 1:
         raise ValueError("rows and cols must be >= 1")
-    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    # A grid/torus has m <= 2n edges, so sizing the index dtype for (n, 2n)
+    # keeps every edge array lean without counting edges up front.
+    idx = np.arange(rows * cols, dtype=min_index_dtype(rows * cols, 2 * rows * cols)).reshape(
+        rows, cols
+    )
     us = []
     vs = []
     # horizontal edges
@@ -93,7 +99,8 @@ def grid_3d(nx: int, ny: int, nz: int) -> Graph:
     """3-D grid with unit weights."""
     if min(nx, ny, nz) < 1:
         raise ValueError("dimensions must be >= 1")
-    idx = np.arange(nx * ny * nz, dtype=np.int64).reshape(nx, ny, nz)
+    nverts = nx * ny * nz
+    idx = np.arange(nverts, dtype=min_index_dtype(nverts, 3 * nverts)).reshape(nx, ny, nz)
     us = []
     vs = []
     us.append(idx[:-1, :, :].ravel())
@@ -151,7 +158,7 @@ def erdos_renyi_gnm(n: int, m: int, seed: RngLike = None, *, connected: bool = T
             vs.append(hi)
             if len(edges) >= target:
                 break
-    return Graph(n, np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64))
+    return Graph(n, np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64), index_dtype="auto")
 
 
 def random_regular_graph(n: int, d: int, seed: RngLike = None, max_rounds: int = 500) -> Graph:
@@ -174,7 +181,7 @@ def random_regular_graph(n: int, d: int, seed: RngLike = None, max_rounds: int =
         return lo * np.int64(n) + hi
 
     for _attempt in range(20):
-        stubs = np.repeat(np.arange(n, dtype=np.int64), d)
+        stubs = np.repeat(np.arange(n, dtype=min_index_dtype(n, n * d // 2)), d)
         rng.shuffle(stubs)
         u = stubs[0::2].copy()
         v = stubs[1::2].copy()
@@ -226,7 +233,7 @@ def preferential_attachment(n: int, k: int, seed: RngLike = None) -> Graph:
             us.append(new)
             vs.append(t)
             targets.extend([new, t])
-    return Graph(n, np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64))
+    return Graph(n, np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64), index_dtype="auto")
 
 
 def random_geometric_graph(
@@ -244,18 +251,92 @@ def random_geometric_graph(
     dist = np.sqrt((diff**2).sum(axis=2))
     iu = np.triu_indices(n, k=1)
     mask = dist[iu] <= radius
-    us = iu[0][mask].astype(np.int64)
-    vs = iu[1][mask].astype(np.int64)
+    us = iu[0][mask]
+    vs = iu[1][mask]
     if connect and n > 1:
         order = np.argsort(pts[:, 0], kind="stable")
-        extra_u = order[:-1].astype(np.int64)
-        extra_v = order[1:].astype(np.int64)
-        us = np.concatenate([us, extra_u])
-        vs = np.concatenate([vs, extra_v])
-        g = Graph(n, us, vs)
+        us = np.concatenate([us, order[:-1]])
+        vs = np.concatenate([vs, order[1:]])
+        g = Graph(n, us, vs, index_dtype="auto")
         g, _ = g.coalesce()
         return g
-    return Graph(n, us, vs)
+    return Graph(n, us, vs, index_dtype="auto")
+
+
+def rmat_edge_blocks(
+    scale: int,
+    edge_factor: int = 8,
+    seed: RngLike = None,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    block_edges: int = 1 << 20,
+):
+    """Yield ``(u, v, w)`` blocks of a recursive-matrix (R-MAT) multigraph.
+
+    The Graph500-style generator on ``n = 2**scale`` vertices with
+    ``edge_factor * n`` directed edge draws: each edge picks one quadrant of
+    the adjacency matrix per bit level with probabilities ``(a, b, c, d)``
+    (``d = 1 - a - b - c``).  Self-loops are dropped; parallel edges are
+    kept (the chain build coalesces multigraphs anyway).  Blocks are emitted
+    with lean index dtypes and unit weights, sized so generation never
+    materializes the full edge list — feed them to
+    :func:`repro.graph.io.graph_from_edge_blocks`.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    if edge_factor < 1:
+        raise ValueError("edge_factor must be >= 1")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative")
+    rng = as_rng(seed)
+    n = 1 << scale
+    remaining = edge_factor * n
+    idt = min_index_dtype(n, remaining)
+    while remaining > 0:
+        size = min(int(block_edges), remaining)
+        remaining -= size
+        u = np.zeros(size, dtype=idt)
+        v = np.zeros(size, dtype=idt)
+        for _bit in range(scale):
+            r = rng.random(size)
+            # quadrants: [0, a) -> (0, 0); [a, a+b) -> (0, 1);
+            #            [a+b, a+b+c) -> (1, 0); rest -> (1, 1)
+            ubit = r >= a + b
+            vbit = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+            u = (u << 1) | ubit.astype(idt)
+            v = (v << 1) | vbit.astype(idt)
+        keep = u != v
+        if not keep.all():
+            u = u[keep]
+            v = v[keep]
+        yield u, v, np.ones(u.shape[0], dtype=np.float64)
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 8,
+    seed: RngLike = None,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    block_edges: int = 1 << 20,
+) -> Graph:
+    """R-MAT multigraph on ``2**scale`` vertices (see :func:`rmat_edge_blocks`).
+
+    Built through the streaming ingestion path, so peak memory during
+    generation is one block plus the final arrays.
+    """
+    from repro.graph.io import graph_from_edge_blocks
+
+    blocks = rmat_edge_blocks(
+        scale, edge_factor, seed, a=a, b=b, c=c, block_edges=block_edges
+    )
+    n = 1 << scale
+    return graph_from_edge_blocks(n, blocks, validate=False)
 
 
 # --------------------------------------------------------------------------- #

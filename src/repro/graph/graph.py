@@ -10,10 +10,15 @@ stretch computation, sparsification) vectorizable.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
+
+from repro.util.dtypes import index_capacity_ok, min_index_dtype, resolve_index_dtype
+
+_INT_DTYPES = (np.dtype(np.int32), np.dtype(np.int64))
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
 class Graph:
@@ -28,6 +33,19 @@ class Graph:
         Self-loops are rejected (they carry no information for Laplacians).
     w:
         Positive edge weights.  Defaults to all ones.
+    index_dtype:
+        Storage dtype for the endpoint arrays: ``"int32"``, ``"int64"``, or
+        ``None`` (default) to keep an already-int32/int64 input array as
+        given (slices of a lean parent stay lean, no copy) and otherwise use
+        the smallest dtype that safely covers ``(n, m)`` — see
+        :func:`repro.util.dtypes.min_index_dtype`.  An explicit ``"int32"``
+        raises :class:`~repro.util.dtypes.IndexOverflowError` when the graph
+        is too large for 32-bit indexing.
+    validate:
+        Skip the O(m) invariant scan (index bounds, self-loops, weight
+        positivity) when ``False``.  Internal call sites that construct
+        graphs from already-validated arrays use this to avoid redundant
+        passes over million-edge arrays.
 
     Notes
     -----
@@ -36,6 +54,9 @@ class Graph:
     * Parallel edges are allowed (they arise naturally from the contractions
       in the AKPW algorithm); :meth:`coalesce` merges them by summing
       weights.
+    * Weights are stored as given for float32/float64 input arrays (the
+      chain build's optional float32 value mode relies on this) and
+      converted to float64 otherwise.
     """
 
     __slots__ = ("n", "u", "v", "w", "_adj", "_fingerprint")
@@ -46,22 +67,42 @@ class Graph:
         u: Iterable[int],
         v: Iterable[int],
         w: Optional[Iterable[float]] = None,
+        *,
+        index_dtype: Union[str, np.dtype, None] = None,
+        validate: bool = True,
     ) -> None:
         self.n = int(n)
-        self.u = np.asarray(u, dtype=np.int64).ravel()
-        self.v = np.asarray(v, dtype=np.int64).ravel()
-        if self.u.shape != self.v.shape:
+        u_arr = np.asarray(u)
+        v_arr = np.asarray(v)
+        if u_arr.shape != v_arr.shape:
             raise ValueError("u and v must have the same length")
-        if w is None:
-            self.w = np.ones(self.u.shape[0], dtype=np.float64)
+        m = int(u_arr.size)
+        if index_dtype is not None:
+            idt = resolve_index_dtype(index_dtype, self.n, m)
+        elif (
+            u_arr.dtype in _INT_DTYPES
+            and v_arr.dtype == u_arr.dtype
+            and index_capacity_ok(u_arr.dtype, self.n, m)
+        ):
+            idt = u_arr.dtype
         else:
-            self.w = np.asarray(w, dtype=np.float64).ravel()
+            idt = min_index_dtype(self.n, m)
+        self.u = u_arr.astype(idt, copy=False).ravel()
+        self.v = v_arr.astype(idt, copy=False).ravel()
+        if w is None:
+            self.w = np.ones(m, dtype=np.float64)
+        else:
+            w_arr = np.asarray(w)
+            wdt = w_arr.dtype if w_arr.dtype in _FLOAT_DTYPES else np.dtype(np.float64)
+            self.w = w_arr.astype(wdt, copy=False).ravel()
             if self.w.shape != self.u.shape:
                 raise ValueError("w must have the same length as u and v")
-        if self.u.size:
-            if self.u.min(initial=0) < 0 or self.v.min(initial=0) < 0:
+        if validate and self.u.size:
+            # Bounds are checked on the pre-cast arrays so an out-of-range
+            # value can never wrap into range during an int64 -> int32 cast.
+            if u_arr.min(initial=0) < 0 or v_arr.min(initial=0) < 0:
                 raise ValueError("vertex indices must be non-negative")
-            if max(self.u.max(initial=-1), self.v.max(initial=-1)) >= self.n:
+            if max(u_arr.max(initial=-1), v_arr.max(initial=-1)) >= self.n:
                 raise ValueError("vertex index out of range")
             if np.any(self.u == self.v):
                 raise ValueError("self-loops are not allowed")
@@ -90,15 +131,18 @@ class Graph:
 
     def degrees(self, weighted: bool = False) -> np.ndarray:
         """Per-vertex degree (edge count) or weighted degree."""
-        vals = self.w if weighted else np.ones_like(self.w)
+        if not weighted:
+            return np.bincount(self.u, minlength=self.n) + np.bincount(
+                self.v, minlength=self.n
+            )
         deg = np.zeros(self.n, dtype=np.float64)
-        np.add.at(deg, self.u, vals)
-        np.add.at(deg, self.v, vals)
-        return deg if weighted else deg.astype(np.int64)
+        np.add.at(deg, self.u, self.w)
+        np.add.at(deg, self.v, self.w)
+        return deg
 
     def copy(self) -> "Graph":
         """Deep copy of the graph (adjacency cache is not copied)."""
-        return Graph(self.n, self.u.copy(), self.v.copy(), self.w.copy())
+        return Graph(self.n, self.u.copy(), self.v.copy(), self.w.copy(), validate=False)
 
     def fingerprint(self) -> str:
         """Content hash of ``(n, u, v, w)`` (cached after the first call).
@@ -112,8 +156,11 @@ class Graph:
 
             h = hashlib.sha256()
             h.update(np.int64(self.n).tobytes())
-            h.update(np.ascontiguousarray(self.u).tobytes())
-            h.update(np.ascontiguousarray(self.v).tobytes())
+            # Endpoints hash through a canonical int64 view so logically
+            # equal graphs fingerprint identically whatever index dtype they
+            # happen to be stored in (and int64 graphs hash as before).
+            h.update(np.ascontiguousarray(self.u, dtype=np.int64).tobytes())
+            h.update(np.ascontiguousarray(self.v, dtype=np.int64).tobytes())
             h.update(np.ascontiguousarray(self.w).tobytes())
             self._fingerprint = "g:" + h.hexdigest()
         return self._fingerprint
@@ -142,15 +189,18 @@ class Graph:
         parallel edges) and ``edge_ids`` gives the owning edge index.
         """
         m = self.num_edges
+        idt = self.u.dtype
         src = np.concatenate([self.u, self.v])
-        dst = np.concatenate([self.v, self.u])
-        eid = np.concatenate([np.arange(m), np.arange(m)])
         order = np.argsort(src, kind="stable")
-        src_sorted = src[order]
+        counts = np.bincount(src, minlength=self.n)
+        del src  # free the 2m source copy before gathering neighbors
+        dst = np.concatenate([self.v, self.u])
         neighbors = dst[order]
+        del dst
+        ar = np.arange(m, dtype=idt)
+        eid = np.concatenate([ar, ar])
         edge_ids = eid[order]
-        indptr = np.zeros(self.n + 1, dtype=np.int64)
-        counts = np.bincount(src_sorted, minlength=self.n)
+        indptr = np.zeros(self.n + 1, dtype=idt)
         indptr[1:] = np.cumsum(counts)
         return indptr, neighbors, edge_ids
 
@@ -190,7 +240,8 @@ class Graph:
         if not edges:
             return Graph(n, [], [], [])
         arr = np.asarray(edges, dtype=np.float64)
-        return Graph(n, arr[:, 0].astype(np.int64), arr[:, 1].astype(np.int64), arr[:, 2])
+        idt = min_index_dtype(n, arr.shape[0])
+        return Graph(n, arr[:, 0].astype(idt), arr[:, 1].astype(idt), arr[:, 2])
 
     @staticmethod
     def from_scipy_adjacency(adj: sp.spmatrix) -> "Graph":
@@ -204,7 +255,13 @@ class Graph:
         edge_indices = np.asarray(edge_indices)
         if edge_indices.dtype == bool:
             edge_indices = np.flatnonzero(edge_indices)
-        return Graph(self.n, self.u[edge_indices], self.v[edge_indices], self.w[edge_indices])
+        return Graph(
+            self.n,
+            self.u[edge_indices],
+            self.v[edge_indices],
+            self.w[edge_indices],
+            validate=False,
+        )
 
     def induced_subgraph(self, vertices: np.ndarray) -> Tuple["Graph", np.ndarray]:
         """Induced subgraph on ``vertices``.
@@ -212,12 +269,19 @@ class Graph:
         Returns the subgraph (with vertices relabeled ``0..len(vertices)-1``)
         and the array of original edge indices that survive.
         """
-        vertices = np.asarray(vertices, dtype=np.int64)
-        keep = np.full(self.n, -1, dtype=np.int64)
-        keep[vertices] = np.arange(vertices.shape[0])
+        idt = self.u.dtype
+        vertices = np.asarray(vertices, dtype=idt)
+        keep = np.full(self.n, -1, dtype=idt)
+        keep[vertices] = np.arange(vertices.shape[0], dtype=idt)
         mask = (keep[self.u] >= 0) & (keep[self.v] >= 0)
         eidx = np.flatnonzero(mask)
-        sub = Graph(vertices.shape[0], keep[self.u[eidx]], keep[self.v[eidx]], self.w[eidx])
+        sub = Graph(
+            vertices.shape[0],
+            keep[self.u[eidx]],
+            keep[self.v[eidx]],
+            self.w[eidx],
+            validate=False,
+        )
         return sub, eidx
 
     def coalesce(self) -> Tuple["Graph", np.ndarray]:
@@ -230,26 +294,30 @@ class Graph:
             return self.copy(), np.zeros(0, dtype=np.int64)
         lo = np.minimum(self.u, self.v)
         hi = np.maximum(self.u, self.v)
+        # Keys are always computed in int64: lo * n + hi overflows int32 for
+        # n beyond ~46k even when the indices themselves fit comfortably.
         keys = lo * np.int64(self.n) + hi
         uniq, inverse = np.unique(keys, return_inverse=True)
-        w_new = np.zeros(uniq.shape[0], dtype=np.float64)
+        w_new = np.zeros(uniq.shape[0], dtype=self.w.dtype)
         np.add.at(w_new, inverse, self.w)
-        u_new = (uniq // self.n).astype(np.int64)
-        v_new = (uniq % self.n).astype(np.int64)
-        return Graph(self.n, u_new, v_new, w_new), inverse
+        idt = self.u.dtype
+        u_new = (uniq // self.n).astype(idt)
+        v_new = (uniq % self.n).astype(idt)
+        return Graph(self.n, u_new, v_new, w_new, validate=False), inverse
 
     def reweighted(self, w: np.ndarray) -> "Graph":
-        """Copy of the graph with new edge weights ``w``."""
-        return Graph(self.n, self.u.copy(), self.v.copy(), np.asarray(w, dtype=float))
+        """Copy of the graph with new edge weights ``w`` (endpoints shared)."""
+        w = np.asarray(w)
+        if w.size and np.any(w <= 0):
+            raise ValueError("edge weights must be positive")
+        return Graph(self.n, self.u, self.v, w, validate=False)
 
     def add_edges(self, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> "Graph":
         """New graph with extra edges appended."""
-        return Graph(
-            self.n,
-            np.concatenate([self.u, np.asarray(u, dtype=np.int64)]),
-            np.concatenate([self.v, np.asarray(v, dtype=np.int64)]),
-            np.concatenate([self.w, np.asarray(w, dtype=np.float64)]),
-        )
+        uu = np.concatenate([self.u, np.asarray(u)])
+        vv = np.concatenate([self.v, np.asarray(v)])
+        ww = np.concatenate([self.w, np.asarray(w)])
+        return Graph(self.n, uu, vv, ww, index_dtype=min_index_dtype(self.n, uu.shape[0]))
 
     # ------------------------------------------------------------------ #
     # edge utilities

@@ -25,6 +25,7 @@ from repro.graph.graph import Graph
 from repro.graph.union_find import UnionFind, connected_components_arrays
 from repro.pram.model import CostModel, null_cost
 from repro.pram.primitives import charge_map
+from repro.util.dtypes import as_index_array, min_index_dtype
 
 
 def _spanning_forest_edges(
@@ -39,15 +40,20 @@ def _spanning_forest_edges(
     """
     cost = cost or null_cost()
     n, m = graph.n, graph.num_edges
-    rank = np.empty(m, dtype=np.int64)
-    rank[order] = np.arange(m, dtype=np.int64)
+    idt = min_index_dtype(n, m)
+    order = as_index_array(order).astype(idt, copy=False)
+    rank = np.empty(m, dtype=idt)
+    rank[order] = np.arange(m, dtype=idt)
     charge_map(cost, m)
 
     uf = UnionFind(n)
-    labels = np.arange(n, dtype=np.int64)
-    alive = np.arange(m, dtype=np.int64)
+    labels = np.arange(n, dtype=idt)
+    alive = np.arange(m, dtype=idt)
     chosen = []
     sentinel = m
+    # One claim buffer reused across every Borůvka round (refilled with the
+    # sentinel in place) instead of a fresh n-array allocation per round.
+    best = np.empty(n, dtype=idt)
     while alive.size:
         lu = labels[graph.u[alive]]
         lv = labels[graph.v[alive]]
@@ -59,7 +65,7 @@ def _spanning_forest_edges(
         lv = lv[cross]
         # Each component claims its minimum-rank incident edge (cut
         # property: with a total order that edge is in the unique MSF).
-        best = np.full(n, sentinel, dtype=np.int64)
+        best.fill(sentinel)
         r = rank[alive]
         np.minimum.at(best, lu, r)
         np.minimum.at(best, lv, r)
@@ -67,7 +73,7 @@ def _spanning_forest_edges(
         selected = order[np.unique(best[best < sentinel])]
         chosen.append(selected)
         uf.union_arrays(graph.u[selected], graph.v[selected], cost=cost)
-        labels = uf.parent  # flattened by union_arrays
+        labels = uf.parent.astype(idt, copy=False)  # flattened by union_arrays
     if not chosen:
         return np.empty(0, dtype=np.int64)
     out = np.concatenate(chosen)

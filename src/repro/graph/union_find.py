@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.pram.model import CostModel, null_cost
 from repro.pram.primitives import charge_pointer_jump
+from repro.util.dtypes import as_index_array, min_index_dtype
 
 
 def _flatten(parent: np.ndarray, cost: CostModel) -> np.ndarray:
@@ -42,8 +43,9 @@ class UnionFind:
     __slots__ = ("parent", "size", "_count")
 
     def __init__(self, n: int) -> None:
-        self.parent = np.arange(n, dtype=np.int64)
-        self.size = np.ones(n, dtype=np.int64)
+        idt = min_index_dtype(n, 0)
+        self.parent = np.arange(n, dtype=idt)
+        self.size = np.ones(n, dtype=idt)
         self._count = int(n)
 
     @property
@@ -88,7 +90,7 @@ class UnionFind:
         """
         cost = cost or null_cost()
         _flatten(self.parent, cost)
-        return self.parent[np.asarray(xs, dtype=np.int64)]
+        return self.parent[as_index_array(xs)]
 
     def union_arrays(
         self, us: np.ndarray, vs: np.ndarray, cost: Optional[CostModel] = None
@@ -101,8 +103,8 @@ class UnionFind:
         distinct sets that were merged away.
         """
         cost = cost or null_cost()
-        us = np.asarray(us, dtype=np.int64).ravel()
-        vs = np.asarray(vs, dtype=np.int64).ravel()
+        us = as_index_array(us)
+        vs = as_index_array(vs)
         if us.shape != vs.shape:
             raise ValueError("us and vs must have the same shape")
         parent = self.parent
@@ -121,7 +123,7 @@ class UnionFind:
                 np.minimum.at(parent, hi, lo)
         _flatten(parent, cost)
         counts = np.bincount(parent, minlength=parent.shape[0])
-        self.size = counts[parent].astype(np.int64)
+        self.size = counts[parent].astype(parent.dtype)
         self._count = int(np.count_nonzero(counts))
         return before - self._count
 
@@ -136,12 +138,13 @@ class UnionFind:
         roots = _flatten(self.parent, null_cost()).copy()
         if not compact:
             return roots
+        idt = roots.dtype
         _, first_index, inverse = np.unique(roots, return_index=True, return_inverse=True)
-        rank = np.empty(first_index.shape[0], dtype=np.int64)
+        rank = np.empty(first_index.shape[0], dtype=idt)
         rank[np.argsort(first_index, kind="stable")] = np.arange(
-            first_index.shape[0], dtype=np.int64
+            first_index.shape[0], dtype=idt
         )
-        return rank[inverse].astype(np.int64)
+        return rank[inverse].astype(idt, copy=False)
 
 
 def connected_components_arrays(
@@ -158,12 +161,12 @@ def connected_components_arrays(
     pointer-jumping sweeps, each a vectorized O(n + m) pass.
     """
     cost = cost or null_cost()
-    u = np.asarray(u, dtype=np.int64).ravel()
-    v = np.asarray(v, dtype=np.int64).ravel()
+    u = as_index_array(u)
+    v = as_index_array(v)
     if n == 0:
         return 0, np.empty(0, dtype=np.int64)
     uf = UnionFind(n)
     uf.union_arrays(u, v, cost=cost)
     roots = uf.parent  # flattened by union_arrays
     uniq, labels = np.unique(roots, return_inverse=True)
-    return int(uniq.shape[0]), labels.astype(np.int64)
+    return int(uniq.shape[0]), labels.astype(roots.dtype, copy=False)

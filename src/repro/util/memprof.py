@@ -1,0 +1,134 @@
+"""Per-stage memory instrumentation for the chain build.
+
+Two tiers of measurement:
+
+* **Cheap, always available** — resident-set sampling from
+  ``/proc/self/status`` (``VmRSS`` / ``VmHWM``), falling back to
+  ``resource.getrusage`` where procfs is absent.  Reading procfs costs
+  microseconds, so :class:`StageMemoryTracker` samples it around every
+  build stage unconditionally.
+* **Opt-in, exact** — ``tracemalloc`` per-stage allocation peaks, enabled
+  with ``memory_profile=True`` on :func:`repro.core.chain.build_chain` /
+  :func:`repro.core.operator.factorize`.  tracemalloc slows allocation-heavy
+  code by 2-4x, so it is never on by default; the benchmark harness uses it
+  for the audited per-stage numbers while timing a separate unprofiled run.
+
+When profiling, the tracker additionally resets the kernel RSS high-water
+mark (``/proc/self/clear_refs``) before each stage so ``VmHWM`` reads as a
+true per-stage peak rather than a monotone process-lifetime maximum.
+"""
+
+from __future__ import annotations
+
+import resource
+import tracemalloc
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+def read_rss_bytes() -> int:
+    """Current resident set size in bytes (0 when unavailable)."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    try:
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:  # pragma: no cover - platform without getrusage
+        return 0
+
+
+def read_peak_rss_bytes() -> int:
+    """Process peak resident set size in bytes (0 when unavailable)."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    try:
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:  # pragma: no cover - platform without getrusage
+        return 0
+
+
+def reset_peak_rss() -> bool:
+    """Reset the kernel RSS high-water mark; True when supported.
+
+    Writing ``5`` to ``/proc/self/clear_refs`` resets ``VmHWM`` (and peak
+    data/stack accounting) for the calling process only.  Unsupported
+    platforms return False and peak readings stay monotone.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5")
+        return True
+    except OSError:
+        return False
+
+
+class StageMemoryTracker:
+    """Collect per-stage memory stats for :func:`build_chain`.
+
+    Cheap RSS sampling is always on; ``profile=True`` adds tracemalloc
+    per-stage peaks and per-stage RSS high-water resets.  Results are
+    flat ``{metric_name: float_bytes}`` suitable for ``chain.stats``.
+    """
+
+    def __init__(self, profile: bool = False) -> None:
+        self.profile = bool(profile)
+        self._stages: Dict[str, Dict[str, int]] = {}
+        self._rss_start = read_rss_bytes()
+        self._started_tracemalloc = False
+        self._can_reset_peak = False
+        if self.profile:
+            self._can_reset_peak = reset_peak_rss()
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracemalloc = True
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Measure one named build stage (re-entrant per name: peaks max, deltas sum)."""
+        if self.profile:
+            if self._can_reset_peak:
+                reset_peak_rss()
+            tracemalloc.reset_peak()
+        rss_before = read_rss_bytes()
+        try:
+            yield
+        finally:
+            rss_after = read_rss_bytes()
+            rec = self._stages.setdefault(
+                name, {"rss_delta": 0, "rss_peak": 0, "traced_peak": 0}
+            )
+            rec["rss_delta"] += rss_after - rss_before
+            if self.profile:
+                if self._can_reset_peak:
+                    rec["rss_peak"] = max(rec["rss_peak"], read_peak_rss_bytes())
+                if tracemalloc.is_tracing():
+                    rec["traced_peak"] = max(
+                        rec["traced_peak"], tracemalloc.get_traced_memory()[1]
+                    )
+
+    def finish(self) -> Dict[str, float]:
+        """Stop profiling (if this tracker started it) and return the stats."""
+        stats: Dict[str, float] = {}
+        for name, rec in self._stages.items():
+            stats[f"mem_rss_delta_{name}"] = float(rec["rss_delta"])
+            if self.profile:
+                if self._can_reset_peak:
+                    stats[f"mem_rss_peak_{name}"] = float(rec["rss_peak"])
+                stats[f"mem_traced_peak_{name}"] = float(rec["traced_peak"])
+        stats["mem_rss_start"] = float(self._rss_start)
+        stats["mem_rss_end"] = float(read_rss_bytes())
+        stats["mem_rss_peak"] = float(read_peak_rss_bytes())
+        stats["mem_profiled"] = 1.0 if self.profile else 0.0
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+        return stats

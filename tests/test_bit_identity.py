@@ -1,0 +1,99 @@
+"""Pinned solve digests: the dtype-lean build must not move a single bit.
+
+The four digests below were recorded at pre-dtype-refactor HEAD (int64
+indices everywhere) with the exact recipe reproduced here.  The refactor
+threads int32 indices and buffer reuse through the whole chain build; index
+dtypes and allocation strategy must never change float arithmetic, so the
+solutions have to match bit for bit — any drift in these hashes means a
+semantic change snuck into the pipeline, not a "numerical difference".
+
+The RNG state flows sequentially through the workloads, so the recipe is
+order-sensitive by construction (that is part of what is pinned).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.core.config import ChainConfig, SolverConfig
+from repro.core.operator import factorize
+from repro.graph import generators
+
+#: (name, sha256-of-solution, outer iterations), recorded at pre-PR HEAD.
+PINNED = {
+    "pcg_grid24": (
+        "6ed727dc0d3371c42dfec527870ee7a4925faa5bce22ee91a3eeef5b564157c1",
+        52,
+    ),
+    "pcg_grid24_batch3": (
+        "d62f60e42300153090452e82eb2747e93321f5bd6b7f497833ef45c893d4e28a",
+        53,
+    ),
+    "cheb_wgrid20": (
+        "942dc046dd36070041ae49e70be57a5cdbe76dbd84f6b87bcac338c3df67e4c8",
+        30,
+    ),
+    "pcg_grid24_k16": (
+        "64852083ea0107ca33957441c3937bd62d51dd31846f95147cb2c7cb01ccab98",
+        34,
+    ),
+}
+
+
+def _digest(x: np.ndarray) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(x, dtype=np.float64).tobytes()
+    ).hexdigest()
+
+
+def _run_recipe():
+    """The exact pre-PR measurement recipe (sequential RNG stream)."""
+    out = {}
+    g = generators.grid_2d(24, 24)
+    op = factorize(g, seed=0)
+    rng = np.random.default_rng(7)
+    b = rng.standard_normal(g.n)
+    b -= b.mean()
+    r = op.solve(b)
+    out["pcg_grid24"] = (_digest(r.x), r.iterations)
+
+    B = rng.standard_normal((g.n, 3))
+    B -= B.mean(axis=0, keepdims=True)
+    rb = op.solve(B)
+    out["pcg_grid24_batch3"] = (_digest(rb.x), rb.iterations)
+
+    wg = generators.weighted_grid_2d(20, 20, seed=3)
+    op2 = factorize(wg, solver=SolverConfig(method="chebyshev"), seed=11)
+    b2 = rng.standard_normal(wg.n)
+    b2 -= b2.mean()
+    r2 = op2.solve(b2)
+    out["cheb_wgrid20"] = (_digest(r2.x), r2.iterations)
+
+    op3 = factorize(g, chain=ChainConfig(kappa=16.0, max_levels=3), seed=5)
+    r3 = op3.solve(b)
+    out["pcg_grid24_k16"] = (_digest(r3.x), r3.iterations)
+    return out
+
+
+def test_default_config_solves_match_pre_refactor_digests():
+    results = _run_recipe()
+    for name, (digest, iters) in results.items():
+        want_digest, want_iters = PINNED[name]
+        assert digest == want_digest, (
+            f"{name}: solution drifted from the pinned pre-refactor digest "
+            f"({digest} != {want_digest})"
+        )
+        assert iters == want_iters, f"{name}: iteration count changed"
+
+
+def test_int64_index_config_matches_default_bit_for_bit():
+    g = generators.weighted_grid_2d(16, 16, seed=9)
+    rng = np.random.default_rng(5)
+    b = rng.standard_normal(g.n)
+    b -= b.mean()
+    x32 = factorize(g, chain=ChainConfig(index_dtype="int32"), seed=4).solve(b).x
+    x64 = factorize(g, chain=ChainConfig(index_dtype="int64"), seed=4).solve(b).x
+    xauto = factorize(g, chain=ChainConfig(index_dtype="auto"), seed=4).solve(b).x
+    assert _digest(x32) == _digest(x64) == _digest(xauto)
