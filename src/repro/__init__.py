@@ -54,11 +54,13 @@ True
 """
 
 from repro.graph.graph import Graph
+from repro.graph.edits import EdgeEdits
 from repro.core.decomposition import split_graph, partition, Decomposition
 from repro.core.akpw import akpw_spanning_tree, AKPWParameters
 from repro.core.sparse_akpw import low_stretch_subgraph, sparse_akpw, SparseAKPWParameters
 from repro.core.config import ChainConfig, SolverConfig
 from repro.core.operator import factorize, LaplacianOperator, SolveReport
+from repro.core.update import UpdateReport
 from repro.core.chain_cache import (
     chain_cache_stats,
     clear_chain_cache,
@@ -83,6 +85,7 @@ __version__ = "2.0.0"
 
 __all__ = [
     "Graph",
+    "EdgeEdits",
     "split_graph",
     "partition",
     "Decomposition",
@@ -97,6 +100,7 @@ __all__ = [
     "ChainConfig",
     "SolverConfig",
     "SolveReport",
+    "UpdateReport",
     "KernelBackendError",
     "available_kernel_backends",
     "numba_available",

@@ -38,6 +38,8 @@ from repro.core.operator import (
     SolveReport,
     factorize,
 )
+from repro.core.update import UpdateReport
+from repro.graph.edits import EdgeEdits
 from repro.kernels import (
     KernelBackendError,
     available_backends as available_kernel_backends,
@@ -52,6 +54,8 @@ __all__ = [
     "factorize",
     "LaplacianOperator",
     "SolveReport",
+    "EdgeEdits",
+    "UpdateReport",
     "ChainConfig",
     "SolverConfig",
     "KernelBackendError",

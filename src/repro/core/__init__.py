@@ -63,9 +63,11 @@ from repro.core.chebyshev import chebyshev_apply, estimate_extreme_eigenvalues
 from repro.core.config import ChainConfig, SolverConfig
 from repro.core.methods import available_methods, get_method, register_method, SolveMethod
 from repro.core.operator import factorize, LaplacianOperator, SolveReport
+from repro.core.update import UpdateReport, update_operator
 from repro.core.chain_cache import (
     chain_cache_stats,
     clear_chain_cache,
+    invalidate_fingerprint,
     set_chain_cache_capacity,
     ChainCacheStats,
 )
@@ -112,8 +114,11 @@ __all__ = [
     "SolveMethod",
     "factorize",
     "LaplacianOperator",
+    "UpdateReport",
+    "update_operator",
     "chain_cache_stats",
     "clear_chain_cache",
+    "invalidate_fingerprint",
     "set_chain_cache_capacity",
     "ChainCacheStats",
     "SDDSolver",

@@ -361,6 +361,25 @@ def evict(key: Hashable) -> bool:
         return True
 
 
+def invalidate_fingerprint(fingerprint: str) -> int:
+    """Drop every cached operator keyed under ``fingerprint``.
+
+    A graph mutation makes every cached factorization of the *old* graph
+    stale from the mutating caller's point of view: the serving layer (and
+    :func:`repro.core.update.update_operator` when asked) calls this after
+    an update so the superseded fingerprint cannot keep serving hits across
+    every (config, seed) combination it was stored under.  Returns the
+    number of entries evicted (counted as explicit evictions).
+    """
+    with _lock:
+        stale = [
+            k for k in _entries if isinstance(k, tuple) and k and k[0] == fingerprint
+        ]
+        for key in stale:
+            _evict_locked(key, "explicit")
+        return len(stale)
+
+
 def sweep_expired() -> int:
     """Eagerly drop every TTL-expired entry; returns the number evicted.
 

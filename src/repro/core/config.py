@@ -69,6 +69,15 @@ class ChainConfig:
         accumulate in float64, but chain weights are rounded — solutions
         differ at single-precision level, so only use it when ~1e-7 relative
         perturbation of the preconditioner is acceptable).
+    update_rebuild_fraction:
+        Damage threshold of :meth:`~repro.core.operator.LaplacianOperator.update`:
+        the incremental path patches the factorization as long as the
+        *accumulated* fraction of chain-consumed edges touched by edit
+        batches (plus inserted edges) stays at or below this value, and
+        falls back to a full, bit-identical ``factorize()`` beyond it.
+        ``0.0`` disables patching (every non-empty edit batch rebuilds);
+        values above ``1.0`` effectively never trigger the damage rebuild
+        (component merges still force one — see :mod:`repro.core.update`).
     """
 
     kappa: float = 25.0
@@ -82,6 +91,7 @@ class ChainConfig:
     use_tree_only: bool = False
     index_dtype: str = "int32"
     value_dtype: str = "float64"
+    update_rebuild_fraction: float = 0.2
 
     def __post_init__(self) -> None:
         if not self.kappa > 1.0:
@@ -106,6 +116,11 @@ class ChainConfig:
             raise ValueError(f"max_levels must be >= 1 (got {self.max_levels})")
         if not self.oversample > 0:
             raise ValueError(f"oversample must be positive (got {self.oversample})")
+        if not self.update_rebuild_fraction >= 0.0:
+            raise ValueError(
+                "update_rebuild_fraction must be >= 0 "
+                f"(got {self.update_rebuild_fraction})"
+            )
 
     def cache_key(self) -> Tuple:
         """Hashable identity of this configuration (for the chain cache)."""

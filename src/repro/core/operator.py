@@ -251,6 +251,7 @@ class LaplacianOperator:
         original_n: int,
         rng: np.random.Generator,
         cost: CostModel,
+        factorize_seed: Optional[int] = None,
     ) -> None:
         self.graph = graph
         self.chain = chain
@@ -261,6 +262,14 @@ class LaplacianOperator:
         self._original_n = int(original_n)
         self.cost = cost
         self._rng = rng
+        #: The integer seed this operator was factorized under (``None`` for
+        #: generator / ``None`` seeds).  :meth:`update` rebuilds with it so a
+        #: threshold-triggered full rebuild is bit-identical to a fresh
+        #: ``factorize()`` of the mutated graph.
+        self.factorize_seed = factorize_seed
+        #: Damage bookkeeping attached by :func:`repro.core.update.update_operator`
+        #: on patched operators (``None`` on fresh factorizations).
+        self._update_state = None
         # The chain's top level already holds the CSR Laplacian of this very
         # graph whenever build_chain didn't have to re-dtype it; reusing that
         # object avoids a second O(m) materialization (same input, same
@@ -634,6 +643,40 @@ class LaplacianOperator:
             self.cost.sequential(ctx.cost)
         return report
 
+    def update(
+        self,
+        edits,
+        *,
+        cache: bool = False,
+        invalidate_cache: bool = False,
+    ):
+        """Apply a batched edge edit to this factorized system.
+
+        Patches the factorization in place of a full re-``factorize()``:
+        the top chain level is rebuilt exactly against the mutated graph
+        while the deeper levels (sparsifier, elimination, compiled
+        transfers, bottom factor) are reused as a stale preconditioner —
+        solves on the returned operator converge to the mutated system's
+        true solution, staleness only costs iterations.  Once the
+        accumulated damage exceeds
+        :attr:`~repro.core.config.ChainConfig.update_rebuild_fraction` (or
+        the batch merges connected components), the operator is instead
+        rebuilt from scratch, bit-identical to a fresh ``factorize()`` of
+        the mutated graph under this operator's original seed.
+
+        Returns ``(operator, report)``: the operator to use from now on
+        (``self`` for an empty batch; otherwise a new object — ``self``
+        stays valid for in-flight solves against the old graph) and an
+        :class:`~repro.core.update.UpdateReport` describing what happened.
+        See :func:`repro.core.update.update_operator` for the ``cache`` /
+        ``invalidate_cache`` semantics.
+        """
+        from repro.core.update import update_operator
+
+        return update_operator(
+            self, edits, cache=cache, invalidate_cache=invalidate_cache
+        )
+
     def _empty_report(self) -> SolveReport:
         """The trivial report for a ``(n, 0)`` batched right-hand side."""
         return SolveReport(
@@ -759,6 +802,9 @@ def factorize(
         original_n=original_n,
         rng=rng,
         cost=model,
+        factorize_seed=int(seed)
+        if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool)
+        else None,
     )
     if key is not None:
         chain_cache.store(key, operator)

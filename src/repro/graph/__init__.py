@@ -19,6 +19,7 @@ here from scratch on top of NumPy/SciPy arrays:
 """
 
 from repro.graph.graph import Graph
+from repro.graph.edits import EdgeEdits
 from repro.graph.laplacian import (
     graph_to_laplacian,
     laplacian_to_graph,
@@ -49,6 +50,7 @@ from repro.graph import generators
 
 __all__ = [
     "Graph",
+    "EdgeEdits",
     "graph_to_laplacian",
     "laplacian_to_graph",
     "is_laplacian",

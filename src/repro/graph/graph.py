@@ -15,7 +15,12 @@ from typing import Iterable, Optional, Tuple, Union
 import numpy as np
 import scipy.sparse as sp
 
-from repro.util.dtypes import index_capacity_ok, min_index_dtype, resolve_index_dtype
+from repro.util.dtypes import (
+    as_index_array,
+    index_capacity_ok,
+    min_index_dtype,
+    resolve_index_dtype,
+)
 
 _INT_DTYPES = (np.dtype(np.int32), np.dtype(np.int64))
 _FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
@@ -161,7 +166,12 @@ class Graph:
             # happen to be stored in (and int64 graphs hash as before).
             h.update(np.ascontiguousarray(self.u, dtype=np.int64).tobytes())
             h.update(np.ascontiguousarray(self.v, dtype=np.int64).tobytes())
-            h.update(np.ascontiguousarray(self.w).tobytes())
+            # Weights hash through a canonical float64 view for the same
+            # reason: a float32-weight graph and its value-identical float64
+            # twin produce identical Laplacians up to the float64 cast the
+            # chain build applies, so they must share one cache entry
+            # instead of factorizing (and caching) twice.
+            h.update(np.ascontiguousarray(self.w, dtype=np.float64).tobytes())
             self._fingerprint = "g:" + h.hexdigest()
         return self._fingerprint
 
@@ -312,12 +322,100 @@ class Graph:
             raise ValueError("edge weights must be positive")
         return Graph(self.n, self.u, self.v, w, validate=False)
 
+    def _extended_index_dtype(self, new_m: int) -> np.dtype:
+        """This graph's index dtype, widened only when ``new_m`` requires it.
+
+        Mutation helpers preserve the source graph's dtype preference (an
+        explicit ``index_dtype="int64"`` graph must not silently downcast to
+        int32 just because the edited edge count happens to fit) and widen
+        exactly when the grown edge array exceeds the current dtype's
+        capacity.
+        """
+        if index_capacity_ok(self.u.dtype, self.n, new_m):
+            return self.u.dtype
+        return min_index_dtype(self.n, new_m)
+
     def add_edges(self, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> "Graph":
-        """New graph with extra edges appended."""
+        """New graph with extra edges appended (source dtype preserved)."""
         uu = np.concatenate([self.u, np.asarray(u)])
         vv = np.concatenate([self.v, np.asarray(v)])
         ww = np.concatenate([self.w, np.asarray(w)])
-        return Graph(self.n, uu, vv, ww, index_dtype=min_index_dtype(self.n, uu.shape[0]))
+        return Graph(self.n, uu, vv, ww, index_dtype=self._extended_index_dtype(uu.shape[0]))
+
+    def delete_edges(self, edge_indices: np.ndarray) -> "Graph":
+        """New graph with the named edges removed (order of survivors kept).
+
+        ``edge_indices`` may be an integer index array (duplicates allowed)
+        or a boolean mask of length ``m``.
+        """
+        edge_indices = np.asarray(edge_indices)
+        if edge_indices.dtype == bool:
+            if edge_indices.shape != self.u.shape:
+                raise ValueError("boolean delete mask must have length m")
+            drop = edge_indices
+        else:
+            edge_indices = as_index_array(edge_indices)
+            if edge_indices.size and (
+                edge_indices.min() < 0 or edge_indices.max() >= self.num_edges
+            ):
+                raise ValueError("edge index out of range")
+            drop = np.zeros(self.num_edges, dtype=bool)
+            drop[edge_indices] = True
+        keep = ~drop
+        return Graph(
+            self.n, self.u[keep], self.v[keep], self.w[keep], validate=False
+        )
+
+    def reweight_edges(self, edge_indices: np.ndarray, new_w: np.ndarray) -> "Graph":
+        """New graph with ``w[edge_indices[i]] = new_w[i]`` (endpoints shared)."""
+        edge_indices = as_index_array(edge_indices)
+        new_w = np.asarray(new_w, dtype=np.float64)
+        if edge_indices.size and (
+            edge_indices.min() < 0 or edge_indices.max() >= self.num_edges
+        ):
+            raise ValueError("edge index out of range")
+        if new_w.size and np.any(new_w <= 0):
+            raise ValueError("edge weights must be positive")
+        w = self.w.copy()
+        w[edge_indices] = new_w.astype(self.w.dtype, copy=False)
+        return Graph(self.n, self.u, self.v, w, validate=False)
+
+    def apply_edits(
+        self, edits, *, return_index_map: bool = False
+    ) -> Union["Graph", Tuple["Graph", np.ndarray]]:
+        """Apply one :class:`~repro.graph.edits.EdgeEdits` batch.
+
+        Deterministic edge order: surviving original edges first (original
+        relative order, reweights applied in place), then the inserted
+        edges in batch order — so two identical mutation histories produce
+        byte-identical edge arrays and hence equal fingerprints.  The index
+        dtype follows the preserve-or-widen rule of :meth:`add_edges`; the
+        weight dtype is preserved.
+
+        With ``return_index_map=True`` additionally returns an int64 array
+        of length ``m`` mapping each original edge index to its index in
+        the new graph (``-1`` for deleted edges); inserted edges occupy
+        indices ``m_surviving ..`` in batch order.
+        """
+        edits.validate_for(self)
+        m = self.num_edges
+        keep = np.ones(m, dtype=bool)
+        keep[edits.delete] = False
+        w = self.w
+        if edits.num_reweights:
+            w = w.copy()
+            w[edits.reweight] = edits.reweight_w.astype(w.dtype, copy=False)
+        new_m = int(np.count_nonzero(keep)) + edits.num_inserts
+        idt = self._extended_index_dtype(new_m)
+        uu = np.concatenate([self.u[keep], edits.insert_u]).astype(idt, copy=False)
+        vv = np.concatenate([self.v[keep], edits.insert_v]).astype(idt, copy=False)
+        ww = np.concatenate([w[keep], edits.insert_w.astype(w.dtype, copy=False)])
+        mutated = Graph(self.n, uu, vv, ww, index_dtype=idt, validate=False)
+        if not return_index_map:
+            return mutated
+        index_map = np.cumsum(keep, dtype=np.int64) - 1
+        index_map[~keep] = -1
+        return mutated, index_map
 
     # ------------------------------------------------------------------ #
     # edge utilities

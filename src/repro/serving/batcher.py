@@ -61,11 +61,19 @@ class GroupKey:
 
 @dataclass
 class PendingRequest:
-    """One enqueued single-RHS solve awaiting its batch."""
+    """One enqueued single-RHS solve awaiting its batch.
+
+    ``registration`` is the service's registration object captured at
+    submit time: the batch solve resolves its operator through it, so a
+    registry swap (``SolverService.update`` re-registering a mutated graph)
+    can never strand a pending or in-flight request — it keeps solving
+    against the graph it was submitted for.
+    """
 
     b: np.ndarray
     future: "asyncio.Future"
     enqueued_at: float
+    registration: object = None
 
 
 @dataclass

@@ -33,9 +33,15 @@ class ServiceStats:
     (unfingerprintable inputs).  ``batches`` is the number of batched
     solves dispatched, ``coalesced_requests`` the requests served in a
     batch of width >= 2.  ``cache_hits``/``cache_misses`` count
-    operator-table lookups at batch-solve time (a miss triggers
-    re-factorization through the chain cache).  Latency figures are
-    end-to-end per request (enqueue to result), in seconds.
+    operator-table lookups at batch-solve time — one per *batch*, since
+    one lookup serves the whole batch (a miss triggers re-factorization
+    through the chain cache); ``cache_hit_requests``/``cache_miss_requests``
+    weight the same lookups by batch width, i.e. how many *requests* were
+    served off a hit vs. a miss.  ``updates`` counts
+    ``SolverService.update`` calls that mutated a registration, and
+    ``updates_rebuilt`` the subset whose edit batch fell back to a full
+    re-factorization.  Latency figures are end-to-end per request (enqueue
+    to result), in seconds.
     """
 
     requests: int
@@ -47,6 +53,10 @@ class ServiceStats:
     coalesced_requests: int
     cache_hits: int
     cache_misses: int
+    cache_hit_requests: int
+    cache_miss_requests: int
+    updates: int
+    updates_rebuilt: int
     batch_width_histogram: Dict[int, int]
     max_batch_width: int
     mean_batch_width: float
@@ -58,6 +68,20 @@ class ServiceStats:
 
     @property
     def cache_hit_rate(self) -> float:
+        """Fraction of *requests* served off an operator-cache hit.
+
+        Weighted by batch width: a hit that serves a width-16 coalesced
+        batch counts 16 requests, matching how ``chain_cache_stats()``
+        would count per-caller lookups.  (The historical per-batch rate —
+        which under-weighted wide batches — is
+        :attr:`batch_cache_hit_rate`.)
+        """
+        total = self.cache_hit_requests + self.cache_miss_requests
+        return self.cache_hit_requests / total if total else 0.0
+
+    @property
+    def batch_cache_hit_rate(self) -> float:
+        """Fraction of *batches* whose operator lookup hit (one per batch)."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
@@ -76,6 +100,10 @@ class ServiceMetrics:
         self._coalesced_requests = 0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._cache_hit_requests = 0
+        self._cache_miss_requests = 0
+        self._updates = 0
+        self._updates_rebuilt = 0
         self._batch_widths: Counter = Counter()
         self._latencies: deque = deque(maxlen=LATENCY_RESERVOIR)
         self._solve_seconds = 0.0
@@ -90,10 +118,15 @@ class ServiceMetrics:
             self._batch_widths[int(width)] += 1
             if width >= 2:
                 self._coalesced_requests += width
+            # One lookup serves the whole batch: count it once at batch
+            # granularity and once per member request, so both rates are
+            # exact rather than inferring one from the other.
             if cache_hit:
                 self._cache_hits += 1
+                self._cache_hit_requests += int(width)
             else:
                 self._cache_misses += 1
+                self._cache_miss_requests += int(width)
             self._solve_seconds += solve_seconds
 
     def record_served(self, latency_seconds: float) -> None:
@@ -113,6 +146,12 @@ class ServiceMetrics:
         with self._lock:
             self._uncoalesced += 1
 
+    def record_update(self, *, rebuilt: bool) -> None:
+        with self._lock:
+            self._updates += 1
+            if rebuilt:
+                self._updates_rebuilt += 1
+
     def snapshot(self) -> ServiceStats:
         with self._lock:
             widths = dict(sorted(self._batch_widths.items()))
@@ -129,6 +168,10 @@ class ServiceMetrics:
                 coalesced_requests=self._coalesced_requests,
                 cache_hits=self._cache_hits,
                 cache_misses=self._cache_misses,
+                cache_hit_requests=self._cache_hit_requests,
+                cache_miss_requests=self._cache_miss_requests,
+                updates=self._updates,
+                updates_rebuilt=self._updates_rebuilt,
                 batch_width_histogram=widths,
                 max_batch_width=max(widths) if widths else 0,
                 mean_batch_width=total_width / batches if batches else 0.0,

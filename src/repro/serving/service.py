@@ -207,6 +207,70 @@ class SolverService:
             chain_cache.evict(reg.cache_key)
         return True
 
+    def update(self, fingerprint: str, edits) -> Tuple[str, object]:
+        """Apply a batched edge edit to a registered graph; returns the new
+        fingerprint and the :class:`~repro.core.update.UpdateReport`.
+
+        The registered operator is updated through
+        :meth:`LaplacianOperator.update <repro.core.operator.LaplacianOperator.update>`
+        — patched incrementally when the edit batch's damage stays under
+        :attr:`~repro.core.config.ChainConfig.update_rebuild_fraction`,
+        fully re-factorized (bit-identical to fresh) beyond it — and the
+        mutated graph is re-registered under its new fingerprint.
+
+        In-flight safety: requests already submitted under the old
+        fingerprint captured the old registration, which this method pins
+        to the old operator *before* swapping the registry and evicting the
+        old fingerprint's chain-cache entries — pending and in-flight
+        batches complete against the graph they were submitted for, while
+        new submissions use the new fingerprint.  An empty edit batch
+        changes nothing and returns the old fingerprint.
+
+        Patched operators are pinned in the new registration (they must
+        never enter the content-addressed chain cache — a cache entry has
+        to be bit-identical to a fresh factorize); rebuilt operators with a
+        cacheable seed are cached normally, so eviction stays survivable.
+        """
+        reg = self._lookup_registration(fingerprint)
+        if reg is None:
+            raise KeyError(f"unknown fingerprint {fingerprint!r}; register() it first")
+        operator, _ = self._operator_for(reg)
+        new_operator, report = operator.update(
+            edits, cache=reg.cache_key is not None, invalidate_cache=False
+        )
+        if report.strategy == "noop":
+            return fingerprint, report
+        # Pin before unpublishing: a racing batch that captured (or looks
+        # up) the old registration must keep resolving the old operator
+        # even after its cache entries are evicted below.
+        reg.pinned = operator
+        reg.cache_key = None
+        new_graph = new_operator.graph
+        new_fp = chain_cache.fingerprint_matrix(new_graph)
+        new_key = (
+            chain_cache.make_key(
+                new_graph, reg.chain_config, reg.solver_config, reg.seed
+            )
+            if report.strategy == "rebuilt"
+            else None
+        )
+        new_reg = _Registration(
+            matrix=new_graph,
+            n=new_graph.n,
+            chain_config=reg.chain_config,
+            solver_config=reg.solver_config,
+            seed=reg.seed,
+            cache_key=new_key,
+            pinned=new_operator if new_key is None else None,
+        )
+        with self._registry_lock:
+            if self._registry.get(fingerprint) is reg:
+                del self._registry[fingerprint]
+            self._registry[new_fp] = new_reg
+        chain_cache.invalidate_fingerprint(fingerprint)
+        self._metrics.record_update(rebuilt=report.strategy == "rebuilt")
+        return new_fp, report
+
     def registered(self) -> Tuple[str, ...]:
         """Fingerprints currently registered."""
         with self._registry_lock:
@@ -360,7 +424,10 @@ class SolverService:
         self._metrics.record_request()
         key = GroupKey(fingerprint=fingerprint, method=eff_method, tol=eff_tol)
         request = PendingRequest(
-            b=b.copy(), future=loop.create_future(), enqueued_at=time.monotonic()
+            b=b.copy(),
+            future=loop.create_future(),
+            enqueued_at=time.monotonic(),
+            registration=reg,
         )
         self._batcher.add(key, request)
         return await request.future
@@ -431,7 +498,15 @@ class SolverService:
         self, key: GroupKey, live: List[PendingRequest]
     ) -> Tuple[SolveReport, bool, float]:
         """Executor-thread body: one batched solve over the group's columns."""
-        reg = self._lookup_registration(key.fingerprint)
+        # Prefer the registration captured at submit time: it survives
+        # registry swaps (update/unregister), so a batch always solves the
+        # graph its members were submitted against.  Every member of a group
+        # shares the fingerprint, hence an equivalent registration.
+        reg = next(
+            (r.registration for r in live if r.registration is not None), None
+        )
+        if reg is None:
+            reg = self._lookup_registration(key.fingerprint)
         if reg is None:
             raise KeyError(f"fingerprint {key.fingerprint!r} unregistered mid-flight")
         operator, cache_hit = self._operator_for(reg)

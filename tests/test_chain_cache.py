@@ -251,3 +251,31 @@ class TestUnfingerprintableInputs:
             before.misses,
             before.size,
         )
+
+
+class TestFingerprintInvalidation:
+    def test_invalidate_evicts_every_config_variant(self):
+        """One fingerprint, several (config, seed) keys: all must go."""
+        g = generators.grid_2d(6, 6)
+        factorize(g, seed=0, cache=True)
+        factorize(g, seed=1, cache=True)
+        factorize(g, ChainConfig(max_levels=2), seed=0, cache=True)
+        other = generators.grid_2d(7, 7)
+        factorize(other, seed=0, cache=True)
+        assert chain_cache_stats().size == 4
+
+        evicted = chain_cache.invalidate_fingerprint(fingerprint_matrix(g))
+        assert evicted == 3
+        stats = chain_cache_stats()
+        assert stats.size == 1
+        assert stats.evictions_explicit == 3
+        # The unrelated fingerprint survived.
+        other_key = make_key(other, ChainConfig(), SolverConfig(), 0)
+        assert chain_cache.lookup(other_key) is not None
+
+    def test_invalidate_unknown_fingerprint_is_noop(self):
+        g = generators.grid_2d(5, 5)
+        factorize(g, seed=0, cache=True)
+        assert chain_cache.invalidate_fingerprint("deadbeef") == 0
+        assert chain_cache_stats().size == 1
+        assert chain_cache_stats().evictions_explicit == 0

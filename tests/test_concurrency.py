@@ -218,3 +218,61 @@ class TestChainCacheConcurrency:
             assert chain_cache_stats().size == 4
         finally:
             set_chain_cache_capacity(32)
+
+
+class TestUpdateRacingSolves:
+    def test_update_while_8_threads_solve_old_operator(self):
+        """``op.update`` builds new operators; it never touches the old one.
+
+        Threads hammer the original operator while the main thread applies a
+        sequence of patch/rebuild updates.  Every concurrent report must stay
+        bit-identical to the pre-update serial reference, and each updated
+        operator must still converge on its own (mutated) graph.
+        """
+        from repro.graph.edits import EdgeEdits
+
+        g, b = _problem(side=8, seed=2)
+        op = factorize(g, seed=0)
+        reference = op.solve(b, tol=1e-8)
+        updated_ops = []
+
+        def worker(i):
+            for _ in range(SOLVES_PER_THREAD):
+                _assert_report_matches(op.solve(b, tol=1e-8), reference)
+
+        barrier = threading.Barrier(NUM_THREADS + 1)
+        errors = []
+
+        def wrapped(i):
+            try:
+                barrier.wait()
+                worker(i)
+            except BaseException as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=wrapped, args=(i,)) for i in range(NUM_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        cur, cur_g = op, g
+        for i in range(4):
+            edits = EdgeEdits.reweights([i], [2.0 + i])
+            cur_g = cur_g.apply_edits(edits)
+            cur, report = cur.update(edits)
+            assert report.strategy in ("patched", "rebuilt")
+            updated_ops.append((cur, cur_g))
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        # The final updated operator agrees with a fresh factorize of the
+        # final graph — the race changed nothing about update correctness.
+        final_op, final_g = updated_ops[-1]
+        fresh = factorize(final_g, seed=0)
+        rng = np.random.default_rng(9)
+        rhs = rng.standard_normal(final_g.n)
+        x_upd = final_op.solve(rhs, tol=1e-10).x
+        x_ref = fresh.solve(rhs, tol=1e-10).x
+        assert np.max(np.abs(x_upd - x_ref)) <= 1e-8

@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graph import generators
+from repro.graph.edits import EdgeEdits
 from repro.graph.graph import Graph
 
 
@@ -169,6 +170,75 @@ class TestTransforms:
         g = generators.path_graph(3)
         with pytest.raises(ValueError):
             g.weight_buckets(1.0)
+
+
+# --------------------------------------------------------------------------- #
+# mutation helpers and fingerprint canonicalization
+# --------------------------------------------------------------------------- #
+class TestMutation:
+    def test_add_edges_preserves_index_dtype(self):
+        """Regression: appending used to downcast explicit index dtypes."""
+        for dtype in (np.int32, np.int64):
+            g = Graph(4, [0, 1, 2], [1, 2, 3], [1.0, 1.0, 1.0], index_dtype=dtype)
+            g2 = g.add_edges([0], [3], [7.0])
+            assert g2.u.dtype == np.dtype(dtype)
+            assert g2.v.dtype == np.dtype(dtype)
+
+    def test_fingerprint_invariant_under_weight_dtype(self):
+        """Regression: float32 weights hashed different bytes than float64."""
+        u, v, w = [0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0]
+        g64 = Graph(4, u, v, np.array(w, dtype=np.float64))
+        g32 = Graph(4, u, v, np.array(w, dtype=np.float32))
+        assert g64.fingerprint() == g32.fingerprint()
+
+    def test_delete_edges_by_index_and_mask(self):
+        g = generators.path_graph(5)
+        by_index = g.delete_edges([1, 3])
+        mask = np.zeros(g.num_edges, dtype=bool)
+        mask[[1, 3]] = True
+        by_mask = g.delete_edges(mask)
+        for g2 in (by_index, by_mask):
+            assert g2.num_edges == 2
+            assert g2.n == g.n
+        assert np.array_equal(by_index.u, by_mask.u)
+
+    def test_delete_edges_empty_selection_roundtrips(self):
+        g = generators.path_graph(4)
+        g2 = g.delete_edges([])
+        assert g2.num_edges == g.num_edges
+        assert g2.fingerprint() == g.fingerprint()
+
+    def test_reweight_edges(self):
+        g = generators.path_graph(4)
+        g2 = g.reweight_edges([0, 2], [5.0, 9.0])
+        assert g2.w.tolist() == [5.0, 1.0, 9.0]
+        assert g.w.tolist() == [1.0, 1.0, 1.0]  # original untouched
+
+    def test_apply_edits_order_and_index_map(self):
+        g = generators.path_graph(5)  # edges (0,1),(1,2),(2,3),(3,4)
+        edits = EdgeEdits.merge(
+            EdgeEdits.deletes([1]),
+            EdgeEdits.reweights([3], [4.0]),
+            EdgeEdits.inserts([0], [4], [2.5]),
+        )
+        g2, index_map = g.apply_edits(edits, return_index_map=True)
+        # Surviving originals keep their relative order, inserts go last.
+        assert g2.num_edges == 4
+        assert index_map.tolist() == [0, -1, 1, 2]
+        assert g2.w[index_map[3]] == 4.0
+        assert g2.w[-1] == 2.5
+        assert (g2.u[-1], g2.v[-1]) == (0, 4)
+
+    def test_apply_edits_validates_bounds(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError):
+            g.apply_edits(EdgeEdits.deletes([g.num_edges]))
+        with pytest.raises(ValueError):
+            g.apply_edits(EdgeEdits.inserts([0], [g.n], [1.0]))
+
+    def test_edge_edits_rejects_overlapping_delete_reweight(self):
+        with pytest.raises(ValueError):
+            EdgeEdits.merge(EdgeEdits.deletes([2]), EdgeEdits.reweights([2], [1.0]))
 
 
 # --------------------------------------------------------------------------- #

@@ -467,3 +467,107 @@ class TestSplitReports:
         assert vector_report.split() == [vector_report]
         empty_report = op.solve(np.zeros((g.n, 0)))
         assert empty_report.split() == []
+
+
+# --------------------------------------------------------------------------- #
+# metrics weighting (regression: per-batch vs per-request hit rate)
+# --------------------------------------------------------------------------- #
+class TestMetricsWeighting:
+    def test_cache_hit_rate_is_request_weighted(self):
+        from repro.serving.metrics import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        metrics.record_batch(8, cache_hit=True, solve_seconds=0.0)
+        metrics.record_batch(1, cache_hit=False, solve_seconds=0.0)
+        stats = metrics.snapshot()
+        # Regression: the old rate averaged per *batch* (would say 0.5) even
+        # though 8 of 9 requests were served off a hit.
+        assert stats.cache_hit_rate == pytest.approx(8 / 9)
+        assert stats.batch_cache_hit_rate == pytest.approx(0.5)
+        assert stats.cache_hits == 1 and stats.cache_misses == 1
+        assert stats.cache_hit_requests == 8 and stats.cache_miss_requests == 1
+
+    def test_update_counters(self):
+        from repro.serving.metrics import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        metrics.record_update(rebuilt=False)
+        metrics.record_update(rebuilt=True)
+        stats = metrics.snapshot()
+        assert stats.updates == 2
+        assert stats.updates_rebuilt == 1
+
+
+# --------------------------------------------------------------------------- #
+# live graph updates through the service
+# --------------------------------------------------------------------------- #
+class TestServiceUpdate:
+    def test_update_reregisters_under_new_fingerprint(self):
+        g = generators.grid_2d(8, 8)
+        b = _pool(g, 1)[0]
+        edits = repro.EdgeEdits.reweights([0, 3], [4.0, 0.5])
+        mutated = g.apply_edits(edits)
+        ref = factorize(mutated, seed=0).solve(b, tol=1e-8)
+        service = SolverService(ServiceConfig(window_seconds=0.01, max_batch=4))
+        fp = service.register(g, seed=0)
+
+        async def run():
+            async with service:
+                await service.submit(fp, b, tol=1e-8)  # warm the old operator
+                new_fp, report = service.update(fp, edits)
+                assert new_fp != fp
+                assert report.strategy in ("patched", "rebuilt")
+                assert service.registered() == (new_fp,)
+                with pytest.raises(KeyError):
+                    await service.submit(fp, b, tol=1e-8)
+                return await service.submit(new_fp, b, tol=1e-8)
+
+        report = asyncio.run(run())
+        assert report.converged
+        assert np.max(np.abs(report.x - ref.x)) <= 1e-8
+        stats = service.stats()
+        assert stats.updates == 1
+        # The stale fingerprint's chain-cache entries were evicted.
+        assert chain_cache.chain_cache_stats().evictions_explicit >= 1
+
+    def test_update_does_not_drop_in_flight_requests(self):
+        g = generators.grid_2d(8, 8)
+        pool = _pool(g, 6)
+        op_ref = factorize(g, seed=0)
+        refs = [op_ref.solve(b, tol=1e-8) for b in pool]
+        service = SolverService(ServiceConfig(window_seconds=0.05, max_batch=3))
+        fp = service.register(g, seed=0)
+        edits = repro.EdgeEdits.reweights([1], [9.0])
+
+        async def run():
+            async with service:
+                futures = [
+                    asyncio.ensure_future(service.submit(fp, b, tol=1e-8))
+                    for b in pool
+                ]
+                await asyncio.sleep(0)  # let submissions enqueue
+                # Swap the registration while those requests are pending.
+                new_fp, _ = service.update(fp, edits)
+                results = await asyncio.gather(*futures)
+                return new_fp, results
+
+        new_fp, results = asyncio.run(run())
+        # Every pre-update request solved against the graph it was submitted
+        # for, bit-identical to a solo solve on the old operator.
+        for report, ref in zip(results, refs):
+            assert np.array_equal(report.x, ref.x)
+        assert service.registered() == (new_fp,)
+
+    def test_noop_update_keeps_fingerprint(self):
+        g = generators.grid_2d(6, 6)
+        service = SolverService()
+        fp = service.register(g, seed=0)
+        new_fp, report = service.update(fp, repro.EdgeEdits.empty())
+        assert new_fp == fp
+        assert report.strategy == "noop"
+        assert service.registered() == (fp,)
+
+    def test_update_unknown_fingerprint_raises(self):
+        service = SolverService()
+        with pytest.raises(KeyError):
+            service.update("no-such-fp", repro.EdgeEdits.empty())
