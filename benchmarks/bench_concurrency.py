@@ -104,12 +104,19 @@ def collect_payload(
     method: str = "pcg",
     repeats: int = 1,
     backend: str = "auto",
+    array_backend: str = "numpy",
 ) -> Dict:
     """Throughput of one shared operator at each thread count (best of repeats)."""
     clear_chain_cache()
     g = generators.grid_2d(side, side)
     t0 = time.time()
-    op = factorize(g, solver=SolverConfig(method=method, kernel_backend=backend), seed=0)
+    op = factorize(
+        g,
+        solver=SolverConfig(
+            method=method, kernel_backend=backend, array_backend=array_backend
+        ),
+        seed=0,
+    )
     setup_seconds = time.time() - t0
     pool = _rhs_pool(g, num_rhs)
 
@@ -141,11 +148,12 @@ def collect_payload(
 
     return {
         "experiment": "concurrency",
-        "schema_version": 2,
+        "schema_version": 3,
         "workload": f"grid{side}",
         "n": g.n,
         "m": g.num_edges,
         "method": method,
+        "array_backend": op.array_ns.name,
         "kernel_backend": op.kernels.name,
         "kernel_jit": op.kernels.jit,
         "cpu_count": os.cpu_count(),
@@ -187,6 +195,12 @@ def main(argv=None) -> int:
         default="auto",
         help="kernel backend (auto/numpy/numba; REPRO_KERNEL_BACKEND overrides)",
     )
+    parser.add_argument(
+        "--array-backend",
+        default="numpy",
+        help="array namespace the solves run in (numpy, cupy, fakedevice, "
+        "array_api:<module>); recorded in the JSON payload",
+    )
     args = parser.parse_args(argv)
 
     payload = collect_payload(
@@ -196,6 +210,7 @@ def main(argv=None) -> int:
         method=args.method,
         repeats=args.repeats,
         backend=args.backend,
+        array_backend=args.array_backend,
     )
     print(
         f"{payload['workload']} (n={payload['n']}, method={payload['method']}, "

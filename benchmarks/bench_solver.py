@@ -26,11 +26,12 @@ comparison — giving future PRs a perf trajectory to diff against.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import math
 import sys
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -201,7 +202,7 @@ class TestE8MultiRHS:
         assert r["batched_residual"] <= 1e-6
 
 
-def _multi_rhs_row(name: str, g, batch: np.ndarray):
+def _multi_rhs_row(name: str, g, batch: np.ndarray, solver: Optional[SolverConfig] = None):
     """Compare one batched multi-RHS solve against a factorize-per-solve loop.
 
     Returns ``(row, operator, setup_seconds)`` so callers can reuse the
@@ -211,7 +212,7 @@ def _multi_rhs_row(name: str, g, batch: np.ndarray):
 
     cost_batched = CostModel()
     t0 = time.time()
-    op = factorize(g, seed=0, cost=cost_batched)
+    op = factorize(g, solver=solver, seed=0, cost=cost_batched)
     t_setup = time.time() - t0
     t0 = time.time()
     batched = op.solve(batch, tol=1e-8)
@@ -220,7 +221,7 @@ def _multi_rhs_row(name: str, g, batch: np.ndarray):
     cost_looped = CostModel()
     t0 = time.time()
     for j in range(k):
-        loop_op = factorize(g, seed=0, cost=cost_looped)
+        loop_op = factorize(g, solver=solver, seed=0, cost=cost_looped)
         loop_op.solve(batch[:, j], tol=1e-8)
     t_looped = time.time() - t0
 
@@ -309,16 +310,55 @@ def pyamg_baseline(lap, b: np.ndarray, tol: float = 1e-8, maxiter: int = 400):
 # --------------------------------------------------------------------------- #
 # standalone --json harness
 # --------------------------------------------------------------------------- #
-def collect_payload(sizes=(16, 24, 32, 64, 100), batch_width: int = 8) -> Dict:
+#: sha256 of the pcg_grid24 solution at pre-array-namespace HEAD (the same
+#: pin tests/test_bit_identity.py carries): grid_2d(24,24), seed=0 factorize,
+#: default_rng(7) mean-centered RHS, default-config solve.
+_PINNED_PCG_GRID24_DIGEST = (
+    "6ed727dc0d3371c42dfec527870ee7a4925faa5bce22ee91a3eeef5b564157c1"
+)
+
+
+def assert_numpy_backend_bit_identity() -> None:
+    """Fail fast if the default-backend solve drifted from the pinned digest.
+
+    Runs the exact pinned recipe; raises ``AssertionError`` on any drift so a
+    regenerated ``BENCH_solver.json`` can never silently ship numbers from a
+    solver that stopped being bit-identical to the pre-refactor one.
+    """
+    g = generators.grid_2d(24, 24)
+    op = factorize(g, seed=0)
+    rng = np.random.default_rng(7)
+    b = rng.standard_normal(g.n)
+    b -= b.mean()
+    r = op.solve(b)
+    digest = hashlib.sha256(
+        np.ascontiguousarray(r.x, dtype=np.float64).tobytes()
+    ).hexdigest()
+    assert digest == _PINNED_PCG_GRID24_DIGEST, (
+        "default-config numpy-backend solve drifted from the pinned "
+        f"pre-refactor digest ({digest} != {_PINNED_PCG_GRID24_DIGEST})"
+    )
+
+
+def collect_payload(
+    sizes=(16, 24, 32, 64, 100), batch_width: int = 8, array_backend: str = "numpy"
+) -> Dict:
     """Measure setup vs per-solve cost and multi-RHS behaviour per workload."""
     clear_chain_cache()
+    solver_cfg = SolverConfig(array_backend=array_backend)
+    if array_backend == "numpy":
+        # In-bench bit-identity gate: committed JSON always comes from a
+        # solver whose default path matches the pinned digests.
+        assert_numpy_backend_bit_identity()
     workloads: List[Dict] = []
     for size in sizes:
         g = generators.grid_2d(size, size)
         batch = _rhs_batch(g, batch_width)
         b = _rhs(g)
 
-        row, op, setup_seconds = _multi_rhs_row(f"grid{size}", g, batch)
+        row, op, setup_seconds = _multi_rhs_row(
+            f"grid{size}", g, batch, solver=solver_cfg
+        )
         lap = graph_to_laplacian(g)
 
         t0 = time.time()
@@ -359,8 +399,9 @@ def collect_payload(sizes=(16, 24, 32, 64, 100), batch_width: int = 8) -> Dict:
         pyamg_available = False
     return {
         "experiment": "E8",
-        "schema_version": 2,
+        "schema_version": 3,
         "batch_width": batch_width,
+        "array_backend": array_backend,
         "baseline_availability": {"scipy_cg": True, "pyamg": pyamg_available},
         "workloads": workloads,
     }
@@ -387,9 +428,17 @@ def main(argv=None) -> int:
         " makes 10k-vertex setups routine)",
     )
     parser.add_argument("--batch", type=int, default=8, help="multi-RHS batch width")
+    parser.add_argument(
+        "--array-backend",
+        default="numpy",
+        help="array namespace the solves run in (numpy, cupy, fakedevice, "
+        "array_api:<module>); recorded in the JSON payload",
+    )
     args = parser.parse_args(argv)
 
-    payload = collect_payload(sizes=tuple(args.sizes), batch_width=args.batch)
+    payload = collect_payload(
+        sizes=tuple(args.sizes), batch_width=args.batch, array_backend=args.array_backend
+    )
     for w in payload["workloads"]:
         ratio = w["multi_rhs"]["work_ratio"]
         cg = w["baselines"]["scipy_cg"]

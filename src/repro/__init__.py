@@ -75,6 +75,11 @@ from repro.kernels import (
     available_backends as available_kernel_backends,
     numba_available,
 )
+from repro.kernels.array_ns import (
+    ArrayBackendError,
+    available_array_backends,
+    get_namespace,
+)
 from repro.serving import ServiceConfig, ServiceStats, SolverService
 from repro.apps.harmonic import harmonic_interpolation, harmonic_labels
 from repro.apps.resistance import ResistanceOracle, effective_resistance_pairs
@@ -104,6 +109,9 @@ __all__ = [
     "KernelBackendError",
     "available_kernel_backends",
     "numba_available",
+    "ArrayBackendError",
+    "available_array_backends",
+    "get_namespace",
     "chain_cache_stats",
     "clear_chain_cache",
     "set_chain_cache_capacity",

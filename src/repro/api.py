@@ -45,6 +45,11 @@ from repro.kernels import (
     available_backends as available_kernel_backends,
     numba_available,
 )
+from repro.kernels.array_ns import (
+    ArrayBackendError,
+    available_array_backends,
+    get_namespace,
+)
 from repro.pram.model import CostModel
 from repro.serving import ServiceConfig, ServiceStats, SolverService
 from repro.util.rng import RngLike
@@ -61,6 +66,9 @@ __all__ = [
     "KernelBackendError",
     "available_kernel_backends",
     "numba_available",
+    "ArrayBackendError",
+    "available_array_backends",
+    "get_namespace",
     "SolverService",
     "ServiceConfig",
     "ServiceStats",

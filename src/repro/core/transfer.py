@@ -161,11 +161,14 @@ class TransferOperators:
         backends, batch widths, and the historical per-step replay.
         """
         k = kernels if kernels is not None else default_kernels()
+        ns = k.array_ns
         batched = np.ndim(b) == 2
         # Batched blocks stay column-contiguous (Fortran order): the layered
         # reference scatters one fancy-index add per layer over every column
-        # at once, and the compiled sweep walks each contiguous column.
-        carry = np.array(b, dtype=float, copy=True, order="F" if batched else "C")
+        # at once, and the compiled sweep walks each contiguous column.  On
+        # the host namespace ``ns.copy`` is exactly the historical
+        # ``np.array(b, dtype=float, copy=True, order=...)``.
+        carry = ns.copy(b, order="F" if batched else "C")
         for sub in self._subrounds:
             if isinstance(sub, _Rake):
                 k.forward_rake(carry, sub.u, sub.v, sub.layers)
@@ -190,8 +193,9 @@ class TransferOperators:
         bit-identical column by column.
         """
         k = kernels if kernels is not None else default_kernels()
-        x = np.zeros_like(carry)
-        x[self.kept_vertices] = np.asarray(x_reduced, dtype=float)
+        ns = k.array_ns
+        x = ns.zeros_like(carry)
+        x[self.kept_vertices] = ns.ensure(x_reduced)
         for sub in reversed(self._subrounds):
             if isinstance(sub, _Rake):
                 k.backward_rake(x, carry, sub.v, sub.u, sub.w)
@@ -203,7 +207,7 @@ class TransferOperators:
         # products, projections) pairwise-sum by memory layout, and bitwise
         # reproducibility of historical solves requires the layout the
         # interpreted transfer produced.
-        return np.ascontiguousarray(x) if x.ndim == 2 else x
+        return ns.ascontiguous(x) if x.ndim == 2 else x
 
     # ------------------------------------------------------------------ #
     # legacy-shaped entry points
@@ -228,6 +232,63 @@ class TransferOperators:
         """
         _, carry = self.forward(b, kernels=kernels)
         return self.backward(carry, x_reduced, kernels=kernels)
+
+    # ------------------------------------------------------------------ #
+    # device residency
+    # ------------------------------------------------------------------ #
+    def to_namespace(self, ns) -> "TransferOperators":
+        """A copy with every schedule array uploaded to ``ns``.
+
+        Called once per chain level when an operator is factorized on a
+        non-host array backend (reason ``"upload"`` on the namespace's
+        transfer counter): the per-sub-round index/coefficient arrays and
+        ``kept_vertices`` become namespace arrays, so forward/backward
+        sweeps read device memory only.  The host namespace returns ``self``
+        unchanged.  Device copies serve :meth:`forward`/:meth:`backward`
+        exclusively — :meth:`forward_matrix` needs host SciPy and should be
+        called on the host instance an operator always retains.
+        """
+        if ns.is_host:
+            return self
+
+        def up(a):
+            return ns.asarray(a, reason="upload")
+
+        subrounds: List[_SubRound] = []
+        for sub in self._subrounds:
+            if isinstance(sub, _Rake):
+                subrounds.append(
+                    _Rake(
+                        v=up(sub.v),
+                        u=up(sub.u),
+                        w=up(sub.w),
+                        layers=tuple((up(u), up(v)) for u, v in sub.layers),
+                    )
+                )
+            else:
+                subrounds.append(
+                    _Compress(
+                        v=up(sub.v),
+                        u1=up(sub.u1),
+                        u2=up(sub.u2),
+                        w1=up(sub.w1),
+                        w2=up(sub.w2),
+                        total=up(sub.total),
+                        fwd_targets=up(sub.fwd_targets),
+                        fwd_sources=up(sub.fwd_sources),
+                        fwd_coeffs=up(sub.fwd_coeffs),
+                        layers=tuple(
+                            (up(t), up(s), up(c)) for t, s, c in sub.layers
+                        ),
+                    )
+                )
+        clone = TransferOperators.__new__(TransferOperators)
+        clone.n = self.n
+        clone.kept_vertices = up(self.kept_vertices)
+        clone._subrounds = subrounds
+        clone.num_steps = self.num_steps
+        clone.num_subrounds = self.num_subrounds
+        return clone
 
     # ------------------------------------------------------------------ #
     # explicit sparse form

@@ -59,6 +59,16 @@ from typing import Callable, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.kernels.array_ns import (
+    ARRAY_BACKEND_ENV_VAR,
+    ARRAY_BACKEND_NAMES,
+    ArrayBackendError,
+    ArrayNamespace,
+    available_array_backends,
+    get_namespace,
+    resolve_backend_name,
+)
+
 __all__ = [
     "KernelSet",
     "CsrOperand",
@@ -70,6 +80,13 @@ __all__ = [
     "get_kernels",
     "BACKEND_ENV_VAR",
     "BACKEND_NAMES",
+    "ARRAY_BACKEND_ENV_VAR",
+    "ARRAY_BACKEND_NAMES",
+    "ArrayBackendError",
+    "ArrayNamespace",
+    "available_array_backends",
+    "get_namespace",
+    "resolve_backend_name",
 ]
 
 #: Environment variable overriding the configured backend name.
@@ -90,11 +107,19 @@ class CsrOperand:
     it with ``@``) and its raw ``indptr``/``indices``/``data`` arrays (what
     compiled kernels iterate).  Built once per chain level at factorize
     time; immutable thereafter.
+
+    When constructed with a non-host :class:`~repro.kernels.array_ns.ArrayNamespace`,
+    ``device`` additionally holds the backend-side sparse payload produced by
+    :meth:`~repro.kernels.array_ns.ArrayNamespace.prepare_csr` (e.g. a
+    ``cupyx.scipy.sparse.csr_matrix``); namespaces whose matvec runs on host
+    CSR buffers (fakedevice, array-api views) leave it ``None``.
     """
 
-    __slots__ = ("matrix", "indptr", "indices", "data", "shape")
+    __slots__ = ("matrix", "indptr", "indices", "data", "shape", "array_ns", "device")
 
-    def __init__(self, matrix: sp.spmatrix) -> None:
+    def __init__(
+        self, matrix: sp.spmatrix, array_ns: Optional[ArrayNamespace] = None
+    ) -> None:
         csr = sp.csr_matrix(matrix)
         if csr.dtype != np.float64:
             csr = csr.astype(np.float64)
@@ -103,6 +128,10 @@ class CsrOperand:
         self.indices = csr.indices
         self.data = csr.data
         self.shape = csr.shape
+        self.array_ns = array_ns
+        self.device = (
+            array_ns.prepare_csr(csr) if array_ns is not None and not array_ns.is_host else None
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CsrOperand(shape={self.shape}, nnz={self.data.shape[0]})"
@@ -160,6 +189,13 @@ class KernelSet:
 
     # --- diagonal (Jacobi) preconditioner application --------------------- #
     diag_scale: Callable = field(repr=False)
+
+    # --- the array namespace the kernels operate in ------------------------ #
+    # Host NumPy by default; non-host sets are built per-namespace by
+    # ``reference.kernels_for(ns)``.  The numba backend is host-only.
+    array_ns: ArrayNamespace = field(
+        default_factory=lambda: get_namespace("numpy"), repr=False
+    )
 
 
 _NUMBA_AVAILABLE: Optional[bool] = None
@@ -219,8 +255,35 @@ def resolve_backend(backend: Optional[str] = None) -> str:
     return name
 
 
-def get_kernels(backend: Optional[str] = None) -> KernelSet:
-    """Return the :class:`KernelSet` for ``backend`` (see :func:`resolve_backend`)."""
+def get_kernels(
+    backend: Optional[str] = None, array_ns: Optional[ArrayNamespace] = None
+) -> KernelSet:
+    """Return the :class:`KernelSet` for ``backend`` (see :func:`resolve_backend`).
+
+    When ``array_ns`` is a non-host namespace, the reference sweeps are
+    instantiated over that namespace (``reference.kernels_for``).  The numba
+    backend compiles host-memory loops, so combining an explicit
+    ``kernel_backend="numba"`` with a non-host array backend raises
+    :class:`KernelBackendError` — before the numba-availability check, so
+    the combination error is the one users see regardless of what is
+    installed.  ``"auto"`` falls back to the namespace-generic sweeps
+    silently, mirroring its numba-missing fallback.
+    """
+    if array_ns is not None and not array_ns.is_host:
+        env = os.environ.get(BACKEND_ENV_VAR)
+        requested = env if env else (backend if backend else "auto")
+        if requested not in BACKEND_NAMES:
+            resolve_backend(backend)  # raises the canonical unknown-name error
+        if requested == "numba":
+            raise KernelBackendError(
+                "kernel backend 'numba' supports only array_backend='numpy' "
+                f"(got array backend {array_ns.name!r}); the compiled kernels "
+                "operate on host NumPy arrays — select kernel_backend "
+                "'numpy'/'auto' or array_backend 'numpy'"
+            )
+        from repro.kernels import reference
+
+        return reference.kernels_for(array_ns)
     name = resolve_backend(backend)
     if name == "numpy":
         from repro.kernels import reference

@@ -1,0 +1,797 @@
+"""Pluggable array namespaces for the compiled solve path.
+
+The solve half of the stack — elimination transfers, batched CG, Chebyshev
+smoothing, Jacobi scaling, null-space projections — is pure scatter/gather,
+CSR matvec, and elementwise recurrence arithmetic.  Nothing in it is
+NumPy-specific except the spelling.  This module abstracts that spelling
+behind an :class:`ArrayNamespace` object (``xp`` in Array-API parlance) so
+the identical kernel code (:func:`repro.kernels.reference.build_kernels`)
+executes on NumPy, CuPy, or any Array-API namespace, with chain arrays
+resident on the target device and **no per-iteration host round-trips**.
+
+Backends (resolved by name, see :func:`get_namespace`)
+------------------------------------------------------
+``"numpy"``
+    The host namespace.  Transfer points are identity functions; results are
+    bit-for-bit identical to the historical hard-coded-NumPy code paths.
+``"cupy"``
+    CuPy device arrays (requires ``cupy``; raises :class:`ArrayBackendError`
+    when not importable).  Arrays live on the GPU; the sanctioned host
+    boundaries are RHS ingress, solution egress, per-iteration O(k) control
+    pulls, and the bottom-level LU solve.
+``"array_api:<module>"``
+    Any importable Array-API namespace (e.g. ``array_api_strict``).  Data
+    round-trips through the module at the transfer points and the sweeps run
+    on zero-copy DLPack views, so only CPU-backed namespaces are supported —
+    the construction-time probe rejects modules whose arrays cannot be
+    viewed by NumPy.
+``"fakedevice"``
+    A test-only namespace proving the residency contract.  Arrays are NumPy
+    wrappers (:class:`FakeDeviceArray`) that *refuse implicit coercion*:
+    ``__array__``/``__bool__``/``__float__`` raise, and mixing a host
+    ``ndarray`` into device arithmetic raises — so any silent host sync in
+    the iteration loop is a hard test failure, not a slow path.  Every
+    sanctioned transfer is counted, by reason, in :attr:`ArrayNamespace.counter`.
+
+Transfer-boundary contract
+--------------------------
+All host↔device movement goes through three methods, each tagged with a
+``reason`` recorded by the namespace's :class:`TransferCounter`:
+
+* :meth:`ArrayNamespace.asarray` — host → device (``"ingress"`` for RHS
+  data, ``"upload"`` for chain/schedule arrays at factorize time,
+  ``"setup"`` for one-time calibration, ``"bottom"`` for the bottom-level
+  scatter).
+* :meth:`ArrayNamespace.to_host` — device → host (``"egress"`` for the
+  solution, ``"bottom"`` for the bottom-level gather, ``"setup"``).
+* :meth:`ArrayNamespace.pull` — device → host for O(k)-sized control data
+  (residual norms, breakdown flags).  These scale with the iteration count
+  but never with ``n``; array-sized ingress/egress is O(1) per solve.
+
+Pinned dtype rules: floating payloads are always ``float64`` (the bitwise
+reproducibility story is a float64 story); integer schedule arrays keep
+their compiled dtype.  :meth:`ArrayNamespace.ensure` is the float64-pinning
+equivalent of the historical ``np.asarray(x, dtype=float)`` idiom.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ARRAY_BACKEND_ENV_VAR",
+    "ARRAY_BACKEND_NAMES",
+    "ArrayBackendError",
+    "ArrayNamespace",
+    "FakeDeviceArray",
+    "TransferCounter",
+    "available_array_backends",
+    "get_namespace",
+    "is_valid_backend_name",
+    "resolve_backend_name",
+]
+
+#: Environment variable overriding ``SolverConfig.array_backend`` at
+#: factorize time (mirrors ``REPRO_KERNEL_BACKEND``).  Unlike the kernel
+#: override, the resolved name is folded into the config *before* the chain
+#: cache key is computed: array backends change where arrays live, so a
+#: cached operator for one backend must never serve a caller of another.
+ARRAY_BACKEND_ENV_VAR = "REPRO_ARRAY_BACKEND"
+
+#: Fixed backend names; ``"array_api:<module>"`` is additionally accepted.
+ARRAY_BACKEND_NAMES = ("numpy", "cupy", "fakedevice")
+
+_ARRAY_API_PREFIX = "array_api:"
+
+
+class ArrayBackendError(RuntimeError):
+    """An unknown or unavailable array backend was requested, or the
+    fakedevice namespace caught an implicit host↔device coercion."""
+
+
+def is_valid_backend_name(name: object) -> bool:
+    """Whether ``name`` is a syntactically valid array-backend name."""
+    if not isinstance(name, str):
+        return False
+    if name in ARRAY_BACKEND_NAMES:
+        return True
+    return name.startswith(_ARRAY_API_PREFIX) and len(name) > len(_ARRAY_API_PREFIX)
+
+
+def resolve_backend_name(name: Optional[str] = None) -> str:
+    """Resolve the requested array-backend name to a concrete one.
+
+    The ``REPRO_ARRAY_BACKEND`` environment variable (when set and
+    non-empty) wins over ``name``; ``None`` means ``"numpy"``.  Only the
+    *name* is validated here — availability (is cupy importable, does the
+    Array-API module exist) is checked by :func:`get_namespace`.
+    """
+    env = os.environ.get(ARRAY_BACKEND_ENV_VAR)
+    resolved = env if env else (name if name else "numpy")
+    if not is_valid_backend_name(resolved):
+        source = (
+            f"{ARRAY_BACKEND_ENV_VAR}={env!r}" if env else f"array_backend={resolved!r}"
+        )
+        raise ArrayBackendError(
+            f"unknown array backend from {source}; expected one of "
+            f"{ARRAY_BACKEND_NAMES} or 'array_api:<module>'"
+        )
+    return resolved
+
+
+def available_array_backends() -> Tuple[str, ...]:
+    """Concrete backend names selectable right now (cupy only if importable)."""
+    names = ["numpy", "fakedevice"]
+    try:
+        import cupy  # noqa: F401
+
+        names.insert(1, "cupy")
+    except ImportError:
+        pass
+    return tuple(names)
+
+
+# --------------------------------------------------------------------------- #
+# transfer accounting
+# --------------------------------------------------------------------------- #
+class TransferCounter:
+    """Reason-keyed counters of host↔device transfers (thread-safe).
+
+    ``counts[reason]`` is the number of transfer calls, ``elements[reason]``
+    the total array elements moved, and ``max_elements[reason]`` the largest
+    single transfer — the fakedevice residency tests assert that ``ingress``
+    and ``egress`` stay O(1) per solve while ``control`` pulls stay O(k).
+    """
+
+    __slots__ = ("_lock", "counts", "elements", "max_elements")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counts: Dict[str, int] = {}
+        self.elements: Dict[str, int] = {}
+        self.max_elements: Dict[str, int] = {}
+
+    def record(self, reason: str, num_elements: int) -> None:
+        with self._lock:
+            self.counts[reason] = self.counts.get(reason, 0) + 1
+            self.elements[reason] = self.elements.get(reason, 0) + int(num_elements)
+            if int(num_elements) > self.max_elements.get(reason, 0):
+                self.max_elements[reason] = int(num_elements)
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """An immutable copy of all counters (for delta assertions)."""
+        with self._lock:
+            return {
+                "counts": dict(self.counts),
+                "elements": dict(self.elements),
+                "max_elements": dict(self.max_elements),
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counts.clear()
+            self.elements.clear()
+            self.max_elements.clear()
+
+
+class _NullCounter(TransferCounter):
+    """No-op counter for the host namespace (keeps the hot path free)."""
+
+    def record(self, reason: str, num_elements: int) -> None:  # noqa: D102
+        pass
+
+
+def _size_of(x: Any) -> int:
+    size = getattr(x, "size", None)
+    return int(size) if size is not None else 1
+
+
+# --------------------------------------------------------------------------- #
+# the namespace interface + host (NumPy) implementation
+# --------------------------------------------------------------------------- #
+class ArrayNamespace:
+    """The array-namespace surface the solve path is written against.
+
+    The base class *is* the host NumPy implementation: every transfer point
+    is an identity (modulo the historical dtype pinning), so threading it
+    through the kernels changes no bits relative to the hard-coded-``np``
+    code it replaced.  Non-host backends subclass and override the transfer
+    points plus the handful of primitives whose spelling differs.
+
+    Attributes
+    ----------
+    name:
+        The resolved backend name (``"numpy"``, ``"cupy"``, ``"fakedevice"``,
+        ``"array_api:<module>"``).
+    xp:
+        The raw array module (NumPy itself for the host namespace; a
+        NumPy-surface proxy for fakedevice; CuPy for cupy).  Kernels reach
+        elementwise/creation functions through it.
+    is_host:
+        Whether arrays of this namespace are plain host ``ndarray`` objects.
+        ``True`` only for ``"numpy"``.
+    counter:
+        The :class:`TransferCounter` recording sanctioned transfers (a
+        no-op instance on the host namespace).
+    """
+
+    name = "numpy"
+    is_host = True
+
+    def __init__(self) -> None:
+        self.xp = np
+        self.counter: TransferCounter = _NullCounter()
+
+    # -- transfer points ------------------------------------------------- #
+    def asarray(self, x: Any, dtype: Any = None, *, reason: str = "ingress") -> Any:
+        """Move host data into the namespace (dtype preserved by default)."""
+        return np.asarray(x, dtype=dtype)
+
+    def to_host(self, x: Any, *, reason: str = "egress") -> np.ndarray:
+        """Move an array back to a host ``ndarray``."""
+        return np.asarray(x)
+
+    def pull(self, x: Any, *, reason: str = "control") -> np.ndarray:
+        """Read a small (O(k)) control array back to host."""
+        return np.asarray(x)
+
+    # -- construction / layout ------------------------------------------- #
+    def ensure(self, x: Any) -> Any:
+        """The namespace equivalent of ``np.asarray(x, dtype=float)``."""
+        return np.asarray(x, dtype=float)
+
+    def zeros(self, shape: Any) -> Any:
+        return np.zeros(shape)
+
+    def zeros_like(self, x: Any) -> Any:
+        return np.zeros_like(x)
+
+    def copy(self, x: Any, order: str = "C") -> Any:
+        """A fresh float64 copy in the requested memory order."""
+        return np.array(x, dtype=float, copy=True, order=order)
+
+    def ascontiguous(self, x: Any) -> Any:
+        return np.ascontiguousarray(x)
+
+    # -- kernel primitives ------------------------------------------------ #
+    def scatter_add(self, arr: Any, idx: Any, vals: Any) -> None:
+        """``arr[idx[i]] += vals[i]`` replaying ``np.add.at``'s slot order."""
+        np.add.at(arr, idx, vals)
+
+    def column_sum(self, block: Any) -> Any:
+        """Width-invariant per-column sum (NumPy's pairwise tree on a
+        Fortran copy — see :mod:`repro.linalg.norms`)."""
+        return np.add.reduce(np.asfortranarray(block), axis=0)
+
+    def prepare_csr(self, csr) -> Any:
+        """Backend-side payload for a :class:`~repro.kernels.CsrOperand`."""
+        return None
+
+    def csr_matvec(self, operand, x: Any) -> Any:
+        """Apply a prepared CSR operand to a vec/block of this namespace."""
+        return operand.matrix @ x
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArrayNamespace(name={self.name!r}, is_host={self.is_host})"
+
+
+# --------------------------------------------------------------------------- #
+# fakedevice: coercion-refusing NumPy wrappers with transfer accounting
+# --------------------------------------------------------------------------- #
+def _is_host_array(x: Any) -> bool:
+    return isinstance(x, np.ndarray) and x.ndim > 0
+
+
+def _fd_unwrap(x: Any) -> Any:
+    if isinstance(x, FakeDeviceArray):
+        return x._a
+    if isinstance(x, tuple):
+        return tuple(_fd_unwrap(item) for item in x)
+    if isinstance(x, list):
+        return [_fd_unwrap(item) for item in x]
+    return x
+
+
+def _fd_wrap(x: Any) -> Any:
+    if isinstance(x, np.ndarray):
+        return FakeDeviceArray(x)
+    if isinstance(x, tuple):
+        return tuple(_fd_wrap(item) for item in x)
+    return x
+
+
+class FakeDeviceArray:
+    """A "device-resident" array: NumPy data that refuses implicit host syncs.
+
+    The wrapper forwards indexing and arithmetic to the wrapped ``ndarray``
+    (so the generic kernels run unchanged) but makes every *implicit* host
+    boundary loud: ``np.asarray``/``__array__`` raises, truthiness and
+    scalar conversion raise, and any binary operation mixing in a host
+    ``ndarray`` (``ndim > 0``) raises :class:`ArrayBackendError`.  Host
+    *index* arrays are allowed — they are O(active-columns) metadata, and
+    real device libraries (CuPy) accept host index arrays the same way —
+    but host-array *values* assigned into a device array are not.
+    """
+
+    __slots__ = ("_a",)
+
+    # Keep NumPy from routing ufuncs through the wrapped buffer: a host
+    # operand's ufunc returns NotImplemented, deferring to our reflected
+    # dunder, which raises explicitly.
+    __array_ufunc__ = None
+
+    def __init__(self, a: np.ndarray) -> None:
+        self._a = a
+
+    # -- metadata (host-visible without a sync, as on real devices) ------- #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._a.shape
+
+    @property
+    def ndim(self) -> int:
+        return self._a.ndim
+
+    @property
+    def dtype(self):
+        return self._a.dtype
+
+    @property
+    def size(self) -> int:
+        return self._a.size
+
+    @property
+    def nbytes(self) -> int:
+        return self._a.nbytes
+
+    def __len__(self) -> int:
+        return self._a.shape[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FakeDeviceArray(shape={self._a.shape}, dtype={self._a.dtype})"
+
+    # -- forbidden implicit host syncs ------------------------------------ #
+    def __array__(self, dtype=None, copy=None):
+        raise ArrayBackendError(
+            "implicit host transfer: np.asarray() called on a fakedevice array; "
+            "use ArrayNamespace.to_host()/pull() at a sanctioned boundary"
+        )
+
+    def __bool__(self) -> bool:
+        raise ArrayBackendError(
+            "implicit host transfer: truth value of a fakedevice array"
+        )
+
+    def __float__(self) -> float:
+        raise ArrayBackendError(
+            "implicit host transfer: float() of a fakedevice array"
+        )
+
+    def __int__(self) -> int:
+        raise ArrayBackendError("implicit host transfer: int() of a fakedevice array")
+
+    def __iter__(self):
+        raise ArrayBackendError(
+            "implicit host transfer: iteration over a fakedevice array"
+        )
+
+    # -- device-side methods ---------------------------------------------- #
+    def copy(self, order: str = "C") -> "FakeDeviceArray":
+        # Default "C" matches ndarray.copy(): downstream layout-sensitive
+        # reductions must see the same memory order the host path produces.
+        return FakeDeviceArray(self._a.copy(order=order))
+
+    def mean(self, *args, **kwargs):
+        return self._a.mean(*args, **kwargs)
+
+    # -- indexing ---------------------------------------------------------- #
+    def __getitem__(self, key):
+        return _fd_wrap(self._a[_fd_unwrap(key)])
+
+    def __setitem__(self, key, value) -> None:
+        if _is_host_array(value):
+            raise ArrayBackendError(
+                "implicit device transfer: assigning a host ndarray into a "
+                "fakedevice array; upload it with ArrayNamespace.asarray() first"
+            )
+        self._a[_fd_unwrap(key)] = _fd_unwrap(value)
+
+    # -- arithmetic --------------------------------------------------------- #
+    def _coerce(self, other: Any) -> Any:
+        if isinstance(other, FakeDeviceArray):
+            return other._a
+        if _is_host_array(other):
+            raise ArrayBackendError(
+                "implicit host/device mix: binary op between a fakedevice array "
+                "and a host ndarray"
+            )
+        return other
+
+    def __add__(self, other):
+        return _fd_wrap(self._a + self._coerce(other))
+
+    def __radd__(self, other):
+        return _fd_wrap(self._coerce(other) + self._a)
+
+    def __sub__(self, other):
+        return _fd_wrap(self._a - self._coerce(other))
+
+    def __rsub__(self, other):
+        return _fd_wrap(self._coerce(other) - self._a)
+
+    def __mul__(self, other):
+        return _fd_wrap(self._a * self._coerce(other))
+
+    def __rmul__(self, other):
+        return _fd_wrap(self._coerce(other) * self._a)
+
+    def __truediv__(self, other):
+        return _fd_wrap(self._a / self._coerce(other))
+
+    def __rtruediv__(self, other):
+        return _fd_wrap(self._coerce(other) / self._a)
+
+    def __pow__(self, other):
+        return _fd_wrap(self._a ** self._coerce(other))
+
+    def __neg__(self):
+        return _fd_wrap(-self._a)
+
+    def __iadd__(self, other):
+        self._a += self._coerce(other)
+        return self
+
+    def __isub__(self, other):
+        self._a -= self._coerce(other)
+        return self
+
+    def __imul__(self, other):
+        self._a *= self._coerce(other)
+        return self
+
+    def __itruediv__(self, other):
+        self._a /= self._coerce(other)
+        return self
+
+    def __matmul__(self, other):
+        return _fd_wrap(self._a @ self._coerce(other))
+
+    def __rmatmul__(self, other):
+        return _fd_wrap(self._coerce(other) @ self._a)
+
+    def __lt__(self, other):
+        return _fd_wrap(self._a < self._coerce(other))
+
+    def __le__(self, other):
+        return _fd_wrap(self._a <= self._coerce(other))
+
+    def __gt__(self, other):
+        return _fd_wrap(self._a > self._coerce(other))
+
+    def __ge__(self, other):
+        return _fd_wrap(self._a >= self._coerce(other))
+
+    def __eq__(self, other):  # type: ignore[override]
+        return _fd_wrap(self._a == self._coerce(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return _fd_wrap(self._a != self._coerce(other))
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+class _FakeUfunc:
+    """Proxy of a NumPy ufunc operating on fakedevice payloads."""
+
+    __slots__ = ("_ufunc",)
+
+    def __init__(self, ufunc: np.ufunc) -> None:
+        self._ufunc = ufunc
+
+    def __call__(self, *args, **kwargs):
+        return _fd_wrap(self._ufunc(*map(_fd_unwrap, args), **kwargs))
+
+    def at(self, arr, idx, vals=None) -> None:
+        if vals is None:
+            self._ufunc.at(_fd_unwrap(arr), _fd_unwrap(idx))
+        else:
+            self._ufunc.at(_fd_unwrap(arr), _fd_unwrap(idx), _fd_unwrap(vals))
+
+    def reduce(self, *args, **kwargs):
+        return _fd_wrap(self._ufunc.reduce(*map(_fd_unwrap, args), **kwargs))
+
+
+class _FakeXp:
+    """NumPy-surface module proxy: unwrap fakedevice args, wrap results.
+
+    Only invoked from namespace-aware code (the generic kernels), so host
+    ``ndarray`` arguments are passed through untouched — strictness against
+    accidental mixing lives on the *array* dunders, where accidents happen.
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, Any] = {}
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self._cache[name]
+        except KeyError:
+            pass
+        attr = getattr(np, name)
+        if isinstance(attr, np.ufunc):
+            wrapped: Any = _FakeUfunc(attr)
+        elif callable(attr):
+            def wrapped(*args, _fn=attr, **kwargs):  # type: ignore[misc]
+                return _fd_wrap(
+                    _fn(*map(_fd_unwrap, args), **{k: _fd_unwrap(v) for k, v in kwargs.items()})
+                )
+        else:
+            wrapped = attr
+        self._cache[name] = wrapped
+        return wrapped
+
+
+class FakeDeviceNamespace(ArrayNamespace):
+    """Test-only namespace proving solve-path residency (see module docs)."""
+
+    name = "fakedevice"
+    is_host = False
+
+    def __init__(self) -> None:
+        self.xp = _FakeXp()
+        self.counter = TransferCounter()
+
+    def asarray(self, x, dtype=None, *, reason="ingress"):
+        if isinstance(x, FakeDeviceArray):
+            return x
+        a = np.asarray(x, dtype=dtype)
+        if a.dtype.kind == "f" and a.dtype != np.float64:
+            a = a.astype(np.float64)
+        self.counter.record(reason, a.size)
+        return FakeDeviceArray(a.copy())
+
+    def to_host(self, x, *, reason="egress"):
+        if isinstance(x, FakeDeviceArray):
+            self.counter.record(reason, x.size)
+            return x._a
+        return np.asarray(x)
+
+    def pull(self, x, *, reason="control"):
+        if isinstance(x, FakeDeviceArray):
+            self.counter.record(reason, x.size)
+            return x._a
+        return np.asarray(x)
+
+    def ensure(self, x):
+        if isinstance(x, FakeDeviceArray):
+            return x
+        return self.asarray(x, dtype=float, reason="ingress")
+
+    def zeros(self, shape):
+        return FakeDeviceArray(np.zeros(shape))
+
+    def zeros_like(self, x):
+        return FakeDeviceArray(np.zeros_like(_fd_unwrap(x)))
+
+    def copy(self, x, order="C"):
+        if not isinstance(x, FakeDeviceArray):
+            return self.asarray(
+                np.array(x, dtype=float, copy=True, order=order), reason="ingress"
+            )
+        return FakeDeviceArray(np.array(x._a, dtype=float, copy=True, order=order))
+
+    def ascontiguous(self, x):
+        return FakeDeviceArray(np.ascontiguousarray(_fd_unwrap(x)))
+
+    def scatter_add(self, arr, idx, vals) -> None:
+        np.add.at(_fd_unwrap(arr), _fd_unwrap(idx), _fd_unwrap(vals))
+
+    def column_sum(self, block):
+        return FakeDeviceArray(
+            np.add.reduce(np.asfortranarray(_fd_unwrap(block)), axis=0)
+        )
+
+    def csr_matvec(self, operand, x):
+        return FakeDeviceArray(operand.matrix @ _fd_unwrap(x))
+
+
+# --------------------------------------------------------------------------- #
+# generic Array-API namespaces (CPU interop via DLPack views)
+# --------------------------------------------------------------------------- #
+class ArrayApiNamespace(ArrayNamespace):
+    """A namespace backed by an importable Array-API module.
+
+    Data enters through ``<module>.asarray`` and is then viewed zero-copy by
+    NumPy via DLPack, so the sweeps run NumPy code on memory the module
+    owns.  This supports any *CPU-backed* Array-API namespace (the
+    construction probe rejects modules NumPy cannot view — for GPUs use the
+    native ``"cupy"`` backend).  Because the compute is the reference NumPy
+    compute on float64 buffers, results are bit-identical to the ``"numpy"``
+    backend; what this lane buys is proof that the solve path never touches
+    an array except through the namespace surface.
+    """
+
+    is_host = False
+
+    def __init__(self, module_name: str) -> None:
+        try:
+            api = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise ArrayBackendError(
+                f"array backend 'array_api:{module_name}' requires the module "
+                f"{module_name!r}, which is not importable: {exc}"
+            ) from exc
+        self.name = f"{_ARRAY_API_PREFIX}{module_name}"
+        self.api = api
+        self.xp = np
+        self.counter = TransferCounter()
+        if not hasattr(api, "asarray"):
+            raise ArrayBackendError(
+                f"module {module_name!r} is not an Array-API namespace "
+                "(missing asarray)"
+            )
+        try:
+            probe = self._view(api.asarray(np.asarray([0.0, 1.0])))
+        except Exception as exc:
+            raise ArrayBackendError(
+                f"array backend 'array_api:{module_name}': NumPy cannot view the "
+                f"module's arrays ({exc!r}); only CPU-backed Array-API namespaces "
+                "are supported — use the native 'cupy' backend for GPUs"
+            ) from exc
+        if probe.shape != (2,):  # pragma: no cover - defensive
+            raise ArrayBackendError(
+                f"array backend 'array_api:{module_name}' round-trip probe failed"
+            )
+
+    def _view(self, device_array) -> np.ndarray:
+        """A host view of a module-owned array (copying only if read-only)."""
+        try:
+            view = np.from_dlpack(device_array)
+        except (TypeError, AttributeError, RuntimeError, BufferError):
+            view = np.asarray(device_array)
+        if isinstance(view, np.ndarray) and not view.flags.writeable:
+            view = view.copy()
+        return view
+
+    def asarray(self, x, dtype=None, *, reason="ingress"):
+        a = np.asarray(x, dtype=dtype)
+        if a.dtype.kind == "f" and a.dtype != np.float64:
+            a = a.astype(np.float64)
+        self.counter.record(reason, a.size)
+        # Round-trip through the module: the returned working array shares
+        # (or is a faithful copy of) buffers the module allocated.
+        return self._view(self.api.asarray(a))
+
+    def to_host(self, x, *, reason="egress"):
+        a = np.asarray(x)
+        self.counter.record(reason, a.size)
+        return a
+
+    def pull(self, x, *, reason="control"):
+        a = np.asarray(x)
+        self.counter.record(reason, a.size)
+        return a
+
+
+class CupyNamespace(ArrayNamespace):
+    """CuPy device namespace (GPU).  Gated on ``import cupy``.
+
+    The sweeps reuse the generic kernels: CuPy's ndarray implements the
+    NumPy operator surface, scatter-adds go through ``cupyx.scatter_add``,
+    and CSR matvecs through ``cupyx.scipy.sparse``.  Column reductions use
+    ``sum(axis=0)`` — device reductions do not replay NumPy's pairwise tree,
+    so the cross-backend agreement contract for CuPy is ≤1e-12 (the
+    fakedevice namespace, which shares every transfer boundary, pins the
+    residency contract bitwise on CPU).
+    """
+
+    name = "cupy"
+    is_host = False
+
+    def __init__(self) -> None:
+        try:
+            import cupy
+            import cupyx
+            import cupyx.scipy.sparse as cpsp
+        except ImportError as exc:
+            raise ArrayBackendError(
+                "array backend 'cupy' was requested but cupy is not installed; "
+                "install cupy for your CUDA/ROCm toolkit or select "
+                "array_backend 'numpy'"
+            ) from exc
+        self.xp = cupy
+        self._cupy = cupy
+        self._cupyx = cupyx
+        self._cpsp = cpsp
+        self.counter = TransferCounter()
+
+    def asarray(self, x, dtype=None, *, reason="ingress"):
+        a = np.asarray(x, dtype=dtype)
+        if a.dtype.kind == "f" and a.dtype != np.float64:
+            a = a.astype(np.float64)
+        self.counter.record(reason, a.size)
+        return self._cupy.asarray(a)
+
+    def to_host(self, x, *, reason="egress"):
+        a = self._cupy.asnumpy(x)
+        self.counter.record(reason, a.size)
+        return np.asarray(a)
+
+    def pull(self, x, *, reason="control"):
+        a = self._cupy.asnumpy(x)
+        self.counter.record(reason, a.size)
+        return np.asarray(a)
+
+    def ensure(self, x):
+        return self._cupy.asarray(x, dtype=self._cupy.float64)
+
+    def zeros(self, shape):
+        return self._cupy.zeros(shape)
+
+    def zeros_like(self, x):
+        return self._cupy.zeros_like(x)
+
+    def copy(self, x, order="C"):
+        return self._cupy.array(x, dtype=self._cupy.float64, copy=True, order=order)
+
+    def ascontiguous(self, x):
+        return self._cupy.ascontiguousarray(x)
+
+    def scatter_add(self, arr, idx, vals) -> None:
+        self._cupyx.scatter_add(arr, idx, vals)
+
+    def column_sum(self, block):
+        return block.sum(axis=0)
+
+    def prepare_csr(self, csr):
+        return self._cpsp.csr_matrix(csr)
+
+    def csr_matvec(self, operand, x):
+        return operand.device @ x
+
+
+# --------------------------------------------------------------------------- #
+# resolution
+# --------------------------------------------------------------------------- #
+_NAMESPACES: Dict[str, ArrayNamespace] = {}
+_NAMESPACES_LOCK = threading.Lock()
+
+_FACTORIES: Dict[str, Callable[[], ArrayNamespace]] = {
+    "numpy": ArrayNamespace,
+    "fakedevice": FakeDeviceNamespace,
+    "cupy": CupyNamespace,
+}
+
+
+def get_namespace(name: Optional[str] = None) -> ArrayNamespace:
+    """The (cached, process-wide) :class:`ArrayNamespace` for ``name``.
+
+    ``name`` must already be concrete (see :func:`resolve_backend_name` for
+    the env-override step).  Raises :class:`ArrayBackendError` for unknown
+    names and for backends whose module is unavailable.  Namespaces are
+    singletons: the fakedevice transfer counter is shared by every operator
+    on that backend in the process, which is what lets tests snapshot/delta
+    around individual solves.
+    """
+    concrete = name if name else "numpy"
+    if not is_valid_backend_name(concrete):
+        raise ArrayBackendError(
+            f"unknown array backend {concrete!r}; expected one of "
+            f"{ARRAY_BACKEND_NAMES} or 'array_api:<module>'"
+        )
+    with _NAMESPACES_LOCK:
+        ns = _NAMESPACES.get(concrete)
+        if ns is None:
+            if concrete.startswith(_ARRAY_API_PREFIX):
+                ns = ArrayApiNamespace(concrete[len(_ARRAY_API_PREFIX):])
+            else:
+                ns = _FACTORIES[concrete]()
+            _NAMESPACES[concrete] = ns
+        return ns

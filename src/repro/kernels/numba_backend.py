@@ -534,10 +534,18 @@ def build_kernels() -> KernelSet:
     (``jit=True``); without it they are the same loops as plain Python
     (``jit=False``) — selectable only through this function, for tests, and
     never returned by :func:`repro.kernels.get_kernels`.
+
+    The compiled loops read and write host NumPy buffers, so this backend is
+    host-only: it is always built over the ``"numpy"`` array namespace, and
+    :func:`repro.kernels.get_kernels` rejects combining it with any other
+    ``array_backend``.
     """
+    from repro.kernels.array_ns import get_namespace
+
     return KernelSet(
         name="numba",
         jit=HAVE_NUMBA,
+        array_ns=get_namespace("numpy"),
         forward_rake=forward_rake,
         forward_compress=forward_compress,
         backward_rake=backward_rake,

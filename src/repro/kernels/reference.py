@@ -1,166 +1,179 @@
-"""Pure-NumPy reference implementation of the solve-path kernels.
+"""Namespace-generic reference implementation of the solve-path kernels.
 
 These are the exact sweeps the solver ran before the kernel layer existed,
-moved verbatim behind the :class:`~repro.kernels.KernelSet` interface.
-They define the bit-exactness contract every other backend must match:
+moved verbatim behind the :class:`~repro.kernels.KernelSet` interface —
+now written once against an :class:`~repro.kernels.array_ns.ArrayNamespace`
+(``ns``) instead of module-level NumPy calls, so the *same* kernel bodies
+execute on host NumPy, CuPy, Array-API views, or the test-only fakedevice
+wrappers.  This module deliberately contains no direct NumPy reference
+(a CI grep-gate enforces it): every array operation goes through ``ns``
+hooks or the arrays' own operator surface.
+
+Instantiated over the host namespace (``KERNELS``, the default backend)
+the closures execute byte-for-byte the historical operation sequence and
+define the bit-exactness contract every other backend must match:
 
 * forward transfers replay ``np.add.at``'s sequential per-slot accumulation
-  (vectors directly; batched blocks through the duplicate-free-target
-  *layer* decomposition computed at compile time, which applies the adds
-  aimed at any single slot in original step order);
+  (vectors via ``ns.scatter_add``; batched blocks through the
+  duplicate-free-target *layer* decomposition computed at compile time,
+  which applies the adds aimed at any single slot in original step order);
 * column reductions are the width-invariant pairwise sums of
-  :mod:`repro.linalg.norms`;
-* CSR matvecs are SciPy's ``@``;
+  :mod:`repro.linalg.norms`, via ``ns.column_sum`` (a Fortran-copy
+  ``add.reduce`` on host; device backends document ≤1e-12 agreement);
+* CSR matvecs accumulate in the sparse library's stored-entry order
+  (``ns.csr_matvec``);
 * elementwise recurrence updates evaluate the historical expressions
   (in-place, which changes no bits — only allocation).
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Dict
 
-from repro.kernels import CsrOperand, KernelSet
-from repro.linalg.norms import column_dot, column_means, column_norms
-
-
-# --------------------------------------------------------------------------- #
-# elimination transfers
-# --------------------------------------------------------------------------- #
-def forward_rake(carry: np.ndarray, u: np.ndarray, v: np.ndarray, layers) -> None:
-    """Degree-1 forward sub-round: ``carry[u[i]] += carry[v[i]]`` in step order."""
-    if carry.ndim == 1:
-        np.add.at(carry, u, carry[v])
-        return
-    for u_layer, v_layer in layers:
-        carry[u_layer] += carry[v_layer]
+from repro.kernels import KernelSet
+from repro.kernels.array_ns import ArrayNamespace, get_namespace
 
 
-def forward_compress(
-    carry: np.ndarray,
-    targets: np.ndarray,
-    sources: np.ndarray,
-    coeffs: np.ndarray,
-    layers,
-) -> None:
-    """Degree-2 forward sub-round: ``carry[t[i]] += c[i] * carry[s[i]]`` in step order."""
-    if carry.ndim == 1:
-        np.add.at(carry, targets, coeffs * carry[sources])
-        return
-    for t_layer, s_layer, c_layer in layers:
-        carry[t_layer] += c_layer[:, None] * carry[s_layer]
+def build_kernels(ns: ArrayNamespace) -> KernelSet:
+    """Build the reference :class:`KernelSet` over an array namespace."""
+    xp = ns.xp
+
+    # ---------------------------------------------------------------- #
+    # elimination transfers
+    # ---------------------------------------------------------------- #
+    def forward_rake(carry, u, v, layers) -> None:
+        """Degree-1 forward sub-round: ``carry[u[i]] += carry[v[i]]`` in step order."""
+        if carry.ndim == 1:
+            ns.scatter_add(carry, u, carry[v])
+            return
+        for u_layer, v_layer in layers:
+            carry[u_layer] += carry[v_layer]
+
+    def forward_compress(carry, targets, sources, coeffs, layers) -> None:
+        """Degree-2 forward sub-round: ``carry[t[i]] += c[i] * carry[s[i]]`` in step order."""
+        if carry.ndim == 1:
+            ns.scatter_add(carry, targets, coeffs * carry[sources])
+            return
+        for t_layer, s_layer, c_layer in layers:
+            carry[t_layer] += c_layer[:, None] * carry[s_layer]
+
+    def backward_rake(x, carry, v, u, w) -> None:
+        """Degree-1 back-substitution: ``x[v] = x[u] + carry[v] / w`` (unique ``v``)."""
+        if x.ndim == 1:
+            x[v] = x[u] + carry[v] / w
+        else:
+            x[v] = x[u] + carry[v] / w[:, None]
+
+    def backward_compress(x, carry, v, u1, u2, w1, w2, total) -> None:
+        """Degree-2 back-substitution: ``x[v] = (w1 x[u1] + w2 x[u2] + carry[v]) / total``."""
+        if x.ndim == 1:
+            x[v] = (w1 * x[u1] + w2 * x[u2] + carry[v]) / total
+        else:
+            x[v] = (w1[:, None] * x[u1] + w2[:, None] * x[u2] + carry[v]) / total[:, None]
+
+    # ---------------------------------------------------------------- #
+    # sparse apply
+    # ---------------------------------------------------------------- #
+    def csr_matvec(operand, x):
+        """Apply the CSR matrix to a vec or block (stored-entry order)."""
+        return ns.csr_matvec(operand, x)
+
+    # ---------------------------------------------------------------- #
+    # column reductions / projections (see repro.linalg.norms)
+    # ---------------------------------------------------------------- #
+    def column_dot(a, b):
+        """Per-column dot products of two equal-shape blocks."""
+        return ns.column_sum(a * b)
+
+    def column_norms(a):
+        """Per-column Euclidean norms of a block."""
+        return xp.sqrt(ns.column_sum(a * a))
+
+    def column_means(a):
+        """Per-column means of a block."""
+        return ns.column_sum(a) / max(a.shape[0], 1)
+
+    def subtract_column_means(v):
+        """``v - column_means(v)`` for an ``(n, k)`` block (new array)."""
+        return v - column_means(v)
+
+    def subtract_gathered(v, scaled, labels):
+        """``v - scaled[labels]`` (per-component mean removal; new array)."""
+        return v - scaled[labels]
+
+    # ---------------------------------------------------------------- #
+    # batched CG recurrences
+    # ---------------------------------------------------------------- #
+    def cg_update_solution(x, r, p, ap, alpha) -> None:
+        """``x += alpha * p``; ``r -= alpha * ap`` with per-column ``alpha`` (in place)."""
+        x += alpha * p
+        r -= alpha * ap
+
+    def cg_update_direction(p, z, beta) -> None:
+        """``p = z + beta * p`` with per-column ``beta`` (in place)."""
+        p *= beta
+        p += z
+
+    # ---------------------------------------------------------------- #
+    # Chebyshev semi-iteration updates (scalar coefficients)
+    # ---------------------------------------------------------------- #
+    def cheb_update_x(x, p, alpha: float) -> None:
+        """``x += alpha * p`` (in place)."""
+        x += alpha * p
+
+    def cheb_update_p(p, z, beta: float) -> None:
+        """``p = z + beta * p`` (in place)."""
+        p *= beta
+        p += z
+
+    def cheb_update_r(r, ap, alpha: float) -> None:
+        """``r -= alpha * ap`` (in place)."""
+        r -= alpha * ap
+
+    # ---------------------------------------------------------------- #
+    # diagonal preconditioner
+    # ---------------------------------------------------------------- #
+    def diag_scale(inv, r):
+        """``inv * r`` columnwise (new array)."""
+        if r.ndim == 2:
+            return inv[:, None] * r
+        return inv * r
+
+    return KernelSet(
+        name="numpy",
+        jit=False,
+        forward_rake=forward_rake,
+        forward_compress=forward_compress,
+        backward_rake=backward_rake,
+        backward_compress=backward_compress,
+        csr_matvec=csr_matvec,
+        column_dot=column_dot,
+        column_norms=column_norms,
+        column_means=column_means,
+        subtract_column_means=subtract_column_means,
+        subtract_gathered=subtract_gathered,
+        cg_update_solution=cg_update_solution,
+        cg_update_direction=cg_update_direction,
+        cheb_update_x=cheb_update_x,
+        cheb_update_p=cheb_update_p,
+        cheb_update_r=cheb_update_r,
+        diag_scale=diag_scale,
+        array_ns=ns,
+    )
 
 
-def backward_rake(
-    x: np.ndarray, carry: np.ndarray, v: np.ndarray, u: np.ndarray, w: np.ndarray
-) -> None:
-    """Degree-1 back-substitution: ``x[v] = x[u] + carry[v] / w`` (unique ``v``)."""
-    if x.ndim == 1:
-        x[v] = x[u] + carry[v] / w
-    else:
-        x[v] = x[u] + carry[v] / w[:, None]
+_KERNEL_CACHE: Dict[str, KernelSet] = {}
 
 
-def backward_compress(
-    x: np.ndarray,
-    carry: np.ndarray,
-    v: np.ndarray,
-    u1: np.ndarray,
-    u2: np.ndarray,
-    w1: np.ndarray,
-    w2: np.ndarray,
-    total: np.ndarray,
-) -> None:
-    """Degree-2 back-substitution: ``x[v] = (w1 x[u1] + w2 x[u2] + carry[v]) / total``."""
-    if x.ndim == 1:
-        x[v] = (w1 * x[u1] + w2 * x[u2] + carry[v]) / total
-    else:
-        x[v] = (w1[:, None] * x[u1] + w2[:, None] * x[u2] + carry[v]) / total[:, None]
+def kernels_for(ns: ArrayNamespace) -> KernelSet:
+    """The (cached) reference :class:`KernelSet` for a namespace."""
+    kset = _KERNEL_CACHE.get(ns.name)
+    if kset is None or kset.array_ns is not ns:
+        kset = build_kernels(ns)
+        _KERNEL_CACHE[ns.name] = kset
+    return kset
 
 
-# --------------------------------------------------------------------------- #
-# sparse apply
-# --------------------------------------------------------------------------- #
-def csr_matvec(operand: CsrOperand, x: np.ndarray) -> np.ndarray:
-    """Apply the CSR matrix to a vec or block (SciPy's stored-entry order)."""
-    return operand.matrix @ x
-
-
-# --------------------------------------------------------------------------- #
-# column reductions / projections (see repro.linalg.norms)
-# --------------------------------------------------------------------------- #
-def subtract_column_means(v: np.ndarray) -> np.ndarray:
-    """``v - column_means(v)`` for an ``(n, k)`` block (new array)."""
-    return v - column_means(v)
-
-
-def subtract_gathered(v: np.ndarray, scaled: np.ndarray, labels: np.ndarray) -> np.ndarray:
-    """``v - scaled[labels]`` (per-component mean removal; new array)."""
-    return v - scaled[labels]
-
-
-# --------------------------------------------------------------------------- #
-# batched CG recurrences
-# --------------------------------------------------------------------------- #
-def cg_update_solution(
-    x: np.ndarray, r: np.ndarray, p: np.ndarray, ap: np.ndarray, alpha: np.ndarray
-) -> None:
-    """``x += alpha * p``; ``r -= alpha * ap`` with per-column ``alpha`` (in place)."""
-    x += alpha * p
-    r -= alpha * ap
-
-
-def cg_update_direction(p: np.ndarray, z: np.ndarray, beta: np.ndarray) -> None:
-    """``p = z + beta * p`` with per-column ``beta`` (in place)."""
-    p *= beta
-    p += z
-
-
-# --------------------------------------------------------------------------- #
-# Chebyshev semi-iteration updates (scalar coefficients)
-# --------------------------------------------------------------------------- #
-def cheb_update_x(x: np.ndarray, p: np.ndarray, alpha: float) -> None:
-    """``x += alpha * p`` (in place)."""
-    x += alpha * p
-
-
-def cheb_update_p(p: np.ndarray, z: np.ndarray, beta: float) -> None:
-    """``p = z + beta * p`` (in place)."""
-    p *= beta
-    p += z
-
-
-def cheb_update_r(r: np.ndarray, ap: np.ndarray, alpha: float) -> None:
-    """``r -= alpha * ap`` (in place)."""
-    r -= alpha * ap
-
-
-# --------------------------------------------------------------------------- #
-# diagonal preconditioner
-# --------------------------------------------------------------------------- #
-def diag_scale(inv: np.ndarray, r: np.ndarray) -> np.ndarray:
-    """``inv * r`` columnwise (new array)."""
-    if r.ndim == 2:
-        return inv[:, None] * r
-    return inv * r
-
-
-KERNELS = KernelSet(
-    name="numpy",
-    jit=False,
-    forward_rake=forward_rake,
-    forward_compress=forward_compress,
-    backward_rake=backward_rake,
-    backward_compress=backward_compress,
-    csr_matvec=csr_matvec,
-    column_dot=column_dot,
-    column_norms=column_norms,
-    column_means=column_means,
-    subtract_column_means=subtract_column_means,
-    subtract_gathered=subtract_gathered,
-    cg_update_solution=cg_update_solution,
-    cg_update_direction=cg_update_direction,
-    cheb_update_x=cheb_update_x,
-    cheb_update_p=cheb_update_p,
-    cheb_update_r=cheb_update_r,
-    diag_scale=diag_scale,
-)
+#: The host (NumPy) reference kernels — the default backend and the
+#: bit-exactness oracle.  ``get_kernels("numpy") is KERNELS`` holds.
+KERNELS = kernels_for(get_namespace("numpy"))

@@ -116,13 +116,29 @@ class FactorizedLaplacian:
         ``kernels`` runs the null-space projections (reference NumPy when
         omitted; bit-for-bit interchangeable).  The triangular sweeps remain
         SciPy's LU solve on every backend.
+
+        The bottom-level solve is the one *sanctioned* host boundary of a
+        non-host array backend: the (small) bottom right-hand side is
+        gathered to host (reason ``"bottom"``), LU-swept by SciPy, and the
+        solution scattered back into the namespace.  Projections then run on
+        host reference kernels — the bottom system has O(bottom-size) data,
+        not O(n), so this transfer is part of the O(1)-per-solve contract.
         """
+        kset = kernels if kernels is not None else default_kernels()
+        ns = kset.array_ns
+        if not ns.is_host:
+            b_host = ns.to_host(b, reason="bottom")
+            x_host = self._solve_host(b_host, default_kernels())
+            return ns.asarray(x_host, reason="bottom")
+        return self._solve_host(b, kset)
+
+    def _solve_host(self, b: np.ndarray, kset: KernelSet) -> np.ndarray:
         b = np.asarray(b, dtype=float)
         x = np.zeros_like(b)
         if self._lu is not None:
-            rhs = self._project(b, kernels)
+            rhs = self._project(b, kset)
             x[self._keep] = self._lu.solve(rhs[self._keep])
-        return self._project(x, kernels)
+        return self._project(x, kset)
 
     def pseudoinverse(self) -> np.ndarray:
         """The explicit dense pseudo-inverse (computed lazily and cached)."""

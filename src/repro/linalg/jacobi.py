@@ -30,13 +30,17 @@ def jacobi_preconditioner(
     bit-for-bit interchangeable).
     """
     kset = kernels if kernels is not None else default_kernels()
+    ns = kset.array_ns
     diag = np.asarray(sp.csr_matrix(matrix).diagonal(), dtype=float)
     inv = np.zeros_like(diag)
     mask = np.abs(diag) > floor
     inv[mask] = 1.0 / diag[mask]
+    # On a non-host namespace the inverse diagonal is uploaded exactly once,
+    # at construction (reason "setup"); applications then stay resident.
+    inv_arr = inv if ns.is_host else ns.asarray(inv, reason="setup")
 
     def apply(r: np.ndarray) -> np.ndarray:
-        return kset.diag_scale(inv, np.asarray(r, dtype=float))
+        return kset.diag_scale(inv_arr, ns.ensure(r))
 
     return apply
 

@@ -1,0 +1,373 @@
+"""Array-namespace backend tests: residency, strictness, and agreement.
+
+The fakedevice backend is the residency proof for the whole array-namespace
+abstraction: its arrays refuse every implicit host coercion, so any code
+path that silently falls back to host NumPy fails loudly, and its transfer
+counter lets these tests assert the O(1)-host-syncs-per-solve contract —
+one RHS ingress, one solution egress, with only scalar-sized control pulls
+in between (plus the sanctioned bottom-level round trips).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core import chain_cache
+from repro.core.config import ChainConfig, SolverConfig
+from repro.core.operator import factorize
+from repro.graph import generators
+from repro.kernels import KernelBackendError, get_kernels
+from repro.kernels.array_ns import (
+    ARRAY_BACKEND_ENV_VAR,
+    ArrayBackendError,
+    FakeDeviceArray,
+    available_array_backends,
+    get_namespace,
+    is_valid_backend_name,
+    resolve_backend_name,
+)
+from repro.testing import fuzz_corpus
+
+
+@pytest.fixture(autouse=True)
+def _no_env_backend(monkeypatch):
+    """These tests select backends explicitly; neutralize the CI lane env."""
+    monkeypatch.delenv(ARRAY_BACKEND_ENV_VAR, raising=False)
+
+
+FD = get_namespace("fakedevice")
+
+#: Corpus cases, built once (graph construction is the expensive part).
+CASES = fuzz_corpus(seed=0)
+CASE_IDS = [c.name for c in CASES]
+
+
+def _rhs(graph, k=2, seed=11):
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal((graph.n, k))
+    return b - b.mean(axis=0)
+
+
+# --------------------------------------------------------------------------- #
+# backend-name resolution
+# --------------------------------------------------------------------------- #
+class TestBackendNames:
+    def test_valid_names(self):
+        assert is_valid_backend_name("numpy")
+        assert is_valid_backend_name("cupy")
+        assert is_valid_backend_name("fakedevice")
+        assert is_valid_backend_name("array_api:array_api_strict")
+        assert not is_valid_backend_name("array_api:")
+        assert not is_valid_backend_name("bogus")
+        assert not is_valid_backend_name(None)
+        assert not is_valid_backend_name(3)
+
+    def test_resolve_defaults_to_numpy(self):
+        assert resolve_backend_name(None) == "numpy"
+        assert resolve_backend_name("fakedevice") == "fakedevice"
+
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV_VAR, "fakedevice")
+        assert resolve_backend_name("numpy") == "fakedevice"
+
+    def test_env_unknown_name_raises(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV_VAR, "bogus")
+        with pytest.raises(ArrayBackendError, match="REPRO_ARRAY_BACKEND"):
+            resolve_backend_name("numpy")
+
+    def test_get_namespace_unknown_raises(self):
+        with pytest.raises(ArrayBackendError, match="unknown array backend"):
+            get_namespace("bogus")
+
+    def test_get_namespace_is_cached_singleton(self):
+        assert get_namespace("fakedevice") is get_namespace("fakedevice")
+        assert get_namespace("numpy").is_host
+
+    def test_available_backends(self):
+        names = available_array_backends()
+        assert "numpy" in names
+        assert "fakedevice" in names
+
+    def test_solver_config_validates_name(self):
+        with pytest.raises(ValueError, match="unknown array_backend"):
+            SolverConfig(array_backend="bogus")
+        cfg = SolverConfig(array_backend="fakedevice")
+        assert cfg.array_backend in cfg.cache_key()
+
+    def test_unavailable_api_module_raises(self):
+        with pytest.raises(ArrayBackendError, match="not importable"):
+            get_namespace("array_api:this_module_does_not_exist")
+
+
+# --------------------------------------------------------------------------- #
+# fakedevice strictness: no implicit host coercion survives
+# --------------------------------------------------------------------------- #
+class TestFakeDeviceStrictness:
+    def test_asarray_wraps_and_to_host_unwraps(self):
+        a = FD.asarray(np.arange(3.0))
+        assert isinstance(a, FakeDeviceArray)
+        back = FD.to_host(a)
+        assert type(back) is np.ndarray
+        np.testing.assert_array_equal(back, np.arange(3.0))
+
+    def test_implicit_coercion_refused(self):
+        a = FD.asarray(np.arange(3.0))
+        with pytest.raises(ArrayBackendError):
+            np.asarray(a)
+        with pytest.raises(ArrayBackendError):
+            bool(a)
+        with pytest.raises(ArrayBackendError):
+            float(a)
+        with pytest.raises(ArrayBackendError):
+            list(a)
+
+    def test_mixing_host_arrays_refused(self):
+        a = FD.asarray(np.arange(3.0))
+        host = np.arange(3.0)
+        with pytest.raises(ArrayBackendError):
+            a + host
+        with pytest.raises(ArrayBackendError):
+            host + a  # reflected: __array_ufunc__ = None defers to __radd__
+        with pytest.raises(ArrayBackendError):
+            a[:2] = host[:2]
+
+    def test_device_arithmetic_matches_host(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((5, 2))
+        y = rng.standard_normal((5, 2))
+        fx, fy = FD.asarray(x), FD.asarray(y)
+        out = FD.to_host(fx * 2.0 + fy / 3.0 - fx**2)
+        np.testing.assert_array_equal(out, x * 2.0 + y / 3.0 - x**2)
+
+    def test_metadata_stays_host(self):
+        a = FD.asarray(np.zeros((4, 3)))
+        assert a.shape == (4, 3)
+        assert a.ndim == 2
+        assert a.dtype == np.float64
+        assert a.nbytes == 4 * 3 * 8
+        assert len(a) == 4
+
+
+# --------------------------------------------------------------------------- #
+# corpus-wide agreement with the numpy backend
+# --------------------------------------------------------------------------- #
+class TestCorpusAgreement:
+    @pytest.mark.parametrize("method", ["pcg", "chebyshev", "jacobi"])
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_fakedevice_matches_numpy(self, case, method):
+        b = _rhs(case.graph)
+        host = factorize(case.graph, solver=SolverConfig(method=method), seed=0)
+        dev = factorize(
+            case.graph,
+            solver=SolverConfig(method=method, array_backend="fakedevice"),
+            seed=0,
+        )
+        r_host = host.solve(b, tol=1e-9)
+        r_dev = dev.solve(b, tol=1e-9)
+        assert type(r_dev.x) is np.ndarray  # egress: reports are host-side
+        assert r_dev.x.dtype == np.float64
+        assert np.max(np.abs(r_host.x - r_dev.x)) <= 1e-12
+        assert r_dev.iterations == r_host.iterations
+        assert r_dev.converged == r_host.converged
+
+
+# --------------------------------------------------------------------------- #
+# residency: O(1) array-sized host syncs per solve
+# --------------------------------------------------------------------------- #
+class TestTransferBudget:
+    def _solve_deltas(self, op, b, tol):
+        before = FD.counter.snapshot()["counts"]
+        report = op.solve(b, tol=tol)
+        after = FD.counter.snapshot()["counts"]
+        return report, {
+            reason: after.get(reason, 0) - before.get(reason, 0)
+            for reason in set(before) | set(after)
+        }
+
+    @pytest.mark.parametrize("method", ["pcg", "chebyshev", "jacobi"])
+    def test_one_ingress_one_egress_per_solve(self, method):
+        g = generators.weighted_grid_2d(10, 10, seed=3, spread=30.0)
+        op = factorize(
+            g, solver=SolverConfig(method=method, array_backend="fakedevice"), seed=0
+        )
+        b = _rhs(g, k=3)
+        op.solve(b, tol=1e-2)  # warm-up: flush one-time lazy setup transfers
+        # Solves of very different iteration counts (loose vs tight tol)
+        # must move the same number of array-sized transfers: exactly one
+        # RHS ingress and one solution egress.
+        loose_report, loose = self._solve_deltas(op, b, tol=1e-2)
+        tight_report, tight = self._solve_deltas(op, b, tol=1e-10)
+        assert tight_report.iterations > loose_report.iterations
+        for delta in (loose, tight):
+            assert delta.get("ingress", 0) == 1
+            assert delta.get("egress", 0) == 1
+            assert delta.get("upload", 0) == 0  # uploads happen at factorize
+            assert delta.get("setup", 0) == 0
+
+    def test_control_pulls_stay_small(self):
+        g = generators.grid_2d(10, 10)
+        op = factorize(g, solver=SolverConfig(array_backend="fakedevice"), seed=0)
+        b = _rhs(g, k=4)
+        FD.counter.reset()
+        op.solve(b, tol=1e-9)
+        snap = FD.counter.snapshot()
+        # Convergence control reads back O(k) scalars per iteration, never
+        # an O(n) iterate.
+        assert snap["max_elements"]["control"] <= b.shape[1]
+        assert snap["max_elements"]["ingress"] == b.size
+        assert snap["max_elements"]["egress"] == b.size
+
+    def test_uploads_happen_once_at_factorize(self):
+        g = generators.grid_2d(8, 8)
+        FD.counter.reset()
+        op = factorize(g, solver=SolverConfig(array_backend="fakedevice"), seed=0)
+        uploads = FD.counter.snapshot()["counts"].get("upload", 0)
+        assert uploads > 0
+        op.solve(_rhs(g), tol=1e-8)
+        op.solve(_rhs(g, seed=5), tol=1e-8)
+        assert FD.counter.snapshot()["counts"].get("upload", 0) == uploads
+
+
+# --------------------------------------------------------------------------- #
+# batched == looped, backend round trips, operator surface
+# --------------------------------------------------------------------------- #
+class TestOperatorSurface:
+    def test_batched_equals_looped_on_fakedevice(self):
+        g = generators.weighted_grid_2d(9, 9, seed=5, spread=40.0)
+        op = factorize(g, solver=SolverConfig(array_backend="fakedevice"), seed=0)
+        b = _rhs(g, k=4)
+        batch = op.solve(b, tol=1e-9)
+        for j in range(b.shape[1]):
+            solo = op.solve(b[:, j], tol=1e-9)
+            np.testing.assert_array_equal(batch.x[:, j], solo.x)
+
+    def test_to_backend_round_trip_bit_identical(self):
+        g = generators.grid_2d(10, 10)
+        b = _rhs(g, k=2)
+        op = factorize(g, seed=0)
+        baseline = op.solve(b, tol=1e-9)
+        dev = op.to_backend("fakedevice")
+        assert dev is not op
+        assert dev.solver_config.array_backend == "fakedevice"
+        back = dev.to_backend("numpy")
+        np.testing.assert_array_equal(back.solve(b, tol=1e-9).x, baseline.x)
+
+    def test_to_backend_same_backend_is_identity(self):
+        g = generators.grid_2d(6, 6)
+        op = factorize(g, seed=0)
+        assert op.to_backend("numpy") is op
+
+    def test_to_backend_validates_name(self):
+        op = factorize(generators.grid_2d(5, 5), seed=0)
+        with pytest.raises(ValueError, match="unknown array_backend"):
+            op.to_backend("bogus")
+
+    def test_to_backend_carries_chebyshev_bounds(self):
+        g = generators.grid_2d(10, 10)
+        op = factorize(g, solver=SolverConfig(method="chebyshev"), seed=0)
+        dev = op.to_backend("fakedevice")
+        assert dev._chebyshev_ready
+        assert dev._chebyshev_bounds == op._chebyshev_bounds
+        b = _rhs(g)
+        host = op.solve(b, tol=1e-9)
+        np.testing.assert_array_equal(dev.solve(b, tol=1e-9).x, host.x)
+
+    def test_env_override_resolved_into_operator(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV_VAR, "fakedevice")
+        op = factorize(generators.grid_2d(6, 6), seed=0)
+        assert op.solver_config.array_backend == "fakedevice"
+        assert op.array_ns.name == "fakedevice"
+
+    def test_cache_keys_distinguish_backends(self):
+        g = generators.grid_2d(6, 6)
+        k_host = chain_cache.make_key(g, ChainConfig(), SolverConfig(), 0)
+        k_dev = chain_cache.make_key(
+            g, ChainConfig(), SolverConfig(array_backend="fakedevice"), 0
+        )
+        assert k_host != k_dev
+
+    def test_estimate_operator_bytes_counts_device_state(self):
+        g = generators.grid_2d(8, 8)
+        host_bytes = chain_cache.estimate_operator_bytes(factorize(g, seed=0))
+        dev_bytes = chain_cache.estimate_operator_bytes(
+            factorize(g, solver=SolverConfig(array_backend="fakedevice"), seed=0)
+        )
+        assert host_bytes > 0
+        # The device operator holds host chain state *plus* uploaded twins.
+        assert dev_bytes > host_bytes
+
+
+# --------------------------------------------------------------------------- #
+# kernel-backend combination rules
+# --------------------------------------------------------------------------- #
+class TestKernelCombination:
+    def test_numba_with_device_backend_raises_at_factorize(self):
+        g = generators.grid_2d(5, 5)
+        with pytest.raises(
+            KernelBackendError,
+            match=r"kernel backend 'numba' supports only array_backend='numpy'",
+        ):
+            factorize(
+                g,
+                solver=SolverConfig(
+                    kernel_backend="numba", array_backend="fakedevice"
+                ),
+                seed=0,
+            )
+
+    def test_get_kernels_device_dispatch(self):
+        kset = get_kernels("auto", array_ns=FD)
+        assert kset.array_ns is FD
+        assert not kset.array_ns.is_host
+        with pytest.raises(KernelBackendError, match="supports only array_backend"):
+            get_kernels("numba", array_ns=FD)
+
+
+# --------------------------------------------------------------------------- #
+# generic Array-API lane (numpy's own array-API-compatible namespace)
+# --------------------------------------------------------------------------- #
+class TestArrayApiLane:
+    def test_array_api_numpy_end_to_end(self):
+        # numpy >= 2.0's main namespace is Array-API compatible, so it
+        # exercises the generic `array_api:<module>` adapter without any
+        # extra dependency; CI additionally runs the suite under
+        # array_api_strict.
+        g = generators.weighted_grid_2d(8, 8, seed=2, spread=20.0)
+        b = _rhs(g)
+        host = factorize(g, seed=0).solve(b, tol=1e-9)
+        api = factorize(
+            g, solver=SolverConfig(array_backend="array_api:numpy"), seed=0
+        ).solve(b, tol=1e-9)
+        np.testing.assert_array_equal(api.x, host.x)
+
+
+# --------------------------------------------------------------------------- #
+# source hygiene: the ported sweep module must stay namespace-pure
+# --------------------------------------------------------------------------- #
+def test_reference_kernels_have_no_bare_numpy_calls():
+    import ast
+
+    src = (
+        pathlib.Path(__file__).resolve().parents[1]
+        / "src"
+        / "repro"
+        / "kernels"
+        / "reference.py"
+    )
+    tree = ast.parse(src.read_text())
+    offenders = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            offenders += [a.name for a in node.names if a.name.split(".")[0] == "numpy"]
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "numpy":
+                offenders.append(node.module)
+        elif isinstance(node, ast.Name) and node.id in ("np", "numpy"):
+            offenders.append(f"{node.id} at line {node.lineno}")
+    assert not offenders, (
+        "reference kernels must route every array op through the namespace, "
+        f"found direct numpy uses: {offenders}"
+    )

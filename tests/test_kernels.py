@@ -314,10 +314,25 @@ def test_unknown_backend_names_error(monkeypatch):
         SolverConfig(kernel_backend="fortran")
 
 
+def _forced_nonhost_array_backend() -> bool:
+    """Whether REPRO_ARRAY_BACKEND forces a non-host namespace on this run."""
+    from repro.kernels.array_ns import get_namespace, resolve_backend_name
+
+    return not get_namespace(resolve_backend_name(None)).is_host
+
+
 def test_factorize_surfaces_missing_numba(monkeypatch, grid_graph):
     monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
     if numba_available():
         pytest.skip("numba installed; the missing-backend error is unreachable")
+    if _forced_nonhost_array_backend():
+        # Non-host array lane: the combination rule fires first (it does not
+        # depend on whether numba is installed).
+        with pytest.raises(
+            KernelBackendError, match="supports only array_backend='numpy'"
+        ):
+            factorize(grid_graph, solver=SolverConfig(kernel_backend="numba"), seed=0)
+        return
     with pytest.raises(KernelBackendError, match="repro-sdd-solver\\[kernels\\]"):
         factorize(grid_graph, solver=SolverConfig(kernel_backend="numba"), seed=0)
 
@@ -326,7 +341,7 @@ def test_factorize_auto_falls_back_silently(monkeypatch, grid_graph):
     monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
     op = factorize(grid_graph, solver=SolverConfig(kernel_backend="auto"), seed=0)
     assert op.kernels.name in ("numpy", "numba")
-    if not numba_available():
+    if not numba_available() and not _forced_nonhost_array_backend():
         assert op.kernels is REF
 
 
